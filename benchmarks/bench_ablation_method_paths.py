@@ -1,0 +1,43 @@
+"""Ablation: internal-only vs internal+external method paths (Sec. 5.3.2).
+
+For method naming the paper uses internal paths (from the method-name
+leaf into the implementation) plus external paths from same-file
+invocations, and observes that internal-only loses only about one
+accuracy point.
+"""
+
+from conftest import BENCH_TRAINING, emit
+from repro.eval.harness import evaluate_crf, method_graph_builder
+from repro.eval.reports import format_comparison_rows
+
+
+def run_all(java_data):
+    both = evaluate_crf(
+        java_data,
+        method_graph_builder(6, 2, use_external=True),
+        training_config=BENCH_TRAINING,
+        name="internal + external paths",
+    )
+    internal_only = evaluate_crf(
+        java_data,
+        method_graph_builder(6, 2, use_external=False),
+        training_config=BENCH_TRAINING,
+        name="internal paths only",
+    )
+    table = format_comparison_rows(
+        [
+            ("internal + external paths", both),
+            ("internal paths only", internal_only),
+        ],
+        "Ablation: method-naming path sources (paper: internal-only ~1% lower)",
+    )
+    return table, both, internal_only
+
+
+def test_ablation_method_paths(benchmark, java_data):
+    table, both, internal_only = benchmark.pedantic(
+        run_all, args=(java_data,), rounds=1, iterations=1
+    )
+    emit("ablation_method_paths", table)
+    # Shape: removing external paths must not help much.
+    assert internal_only.accuracy <= both.accuracy + 5.0

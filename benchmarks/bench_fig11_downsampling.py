@@ -1,0 +1,37 @@
+"""Fig. 11: downsampling path-context occurrences (Sec. 5.5).
+
+Each training path-context is kept with probability p; evaluation always
+uses the full paths.  Paper shape: accuracy stays roughly flat down to
+p ~ 0.2 (still above UnuglifyJS) while training time falls with p.
+"""
+
+from conftest import SWEEP_TRAINING, emit
+from repro.eval.harness import downsampling_sweep
+from repro.eval.reports import format_series
+
+
+def run_all(js_data):
+    results = downsampling_sweep(
+        js_data,
+        keep_probabilities=(0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        training_config=SWEEP_TRAINING,
+    )
+    table = format_series(
+        "Fig. 11: accuracy vs keep probability p (JS variable naming)",
+        results,
+        "keep_probability",
+        "p",
+    )
+    return table, results
+
+
+def test_fig11_downsampling(benchmark, js_data):
+    table, results = benchmark.pedantic(
+        run_all, args=(js_data,), rounds=1, iterations=1
+    )
+    emit("fig11_downsampling", table)
+    by_p = {r.extra["keep_probability"]: r for r in results}
+    # Shape: p=0.8 stays within a few points of p=1.0.
+    assert abs(by_p[0.8].accuracy - by_p[1.0].accuracy) < 15.0
+    # Shape: heavy downsampling trains faster than the full path set.
+    assert by_p[0.1].train_seconds < by_p[1.0].train_seconds

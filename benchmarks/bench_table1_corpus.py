@@ -1,0 +1,39 @@
+"""Table 1: the amounts of data used per language.
+
+The paper reports repositories, file counts and sizes per language after
+duplicate filtering.  We report the same columns for the generated
+corpora, plus how many duplicates the Sec. 5.2 filters removed.
+"""
+
+from conftest import BENCH_CORPUS, emit
+from repro.corpus import deduplicate, generate_corpus
+from repro.corpus.generator import corpus_stats
+from repro.eval.reports import format_table
+
+
+def build_table():
+    rows = []
+    for language, config in BENCH_CORPUS.items():
+        files = generate_corpus(config)
+        kept, removed = deduplicate(files)
+        stats = corpus_stats(kept)
+        rows.append(
+            (
+                language,
+                str(int(stats["projects"])),
+                str(int(stats["files"])),
+                f"{stats['kib']:.1f} KiB",
+                str(removed),
+            )
+        )
+    return format_table(
+        "Table 1: generated corpora per language (after dedup)",
+        rows,
+        ("Language", "Projects", "Files", "Size", "Duplicates removed"),
+    )
+
+
+def test_table1_corpus(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("table1_corpus", table)
+    assert "javascript" in table

@@ -1,0 +1,104 @@
+"""Table 2 (top): variable-name prediction accuracy with CRFs.
+
+Rows per language, exactly as in the paper:
+
+* JavaScript: no-paths / UnuglifyJS-style features / AST paths (7/3)
+* Java:       rule-based / CRFs + 4-grams / AST paths (6/3)
+* Python:     no-paths / AST paths (7/4)
+* C#:         AST paths (7/4)
+
+Paper reference numbers: JS 24.9 / 60.0 / 67.3; Java 23.7 / 50.1 / 58.2;
+Python 35.2 / 56.7; C# 56.1.
+"""
+
+from conftest import BENCH_TRAINING, emit
+from repro.baselines import (
+    build_ngram_graph,
+    build_unuglify_graph,
+    rule_based_predictions,
+)
+from repro.eval.harness import (
+    evaluate_crf,
+    evaluate_prediction_map,
+    path_graph_builder,
+)
+from repro.eval.reports import format_table
+from repro.tasks.variable_naming import element_groups
+
+
+def _gold_variables(ast):
+    return {b: occ[0].value or "" for b, occ in element_groups(ast).items()}
+
+
+def run_all(js_data, java_data, python_data, csharp_data):
+    rows = []
+
+    # --- JavaScript ---------------------------------------------------
+    no_paths = evaluate_crf(
+        js_data, path_graph_builder(7, 3, abstraction="no-path"),
+        training_config=BENCH_TRAINING, name="js no-paths",
+    )
+    unuglify = evaluate_crf(
+        js_data, lambda f, a: build_unuglify_graph(a, f.path),
+        training_config=BENCH_TRAINING, name="js unuglify",
+    )
+    paths_js = evaluate_crf(
+        js_data, path_graph_builder(7, 3), training_config=BENCH_TRAINING,
+        name="js paths",
+    )
+    rows.append(("JavaScript  no-paths", f"{no_paths.accuracy:.1f}%", "24.9%"))
+    rows.append(("JavaScript  UnuglifyJS feats", f"{unuglify.accuracy:.1f}%", "60.0%"))
+    rows.append(("JavaScript  AST paths (7/3)", f"{paths_js.accuracy:.1f}%", "67.3%"))
+
+    # --- Java -----------------------------------------------------------
+    rule = evaluate_prediction_map(
+        java_data, lambda f, a: rule_based_predictions(a), _gold_variables,
+        name="java rule-based",
+    )
+    # n is tuned on the validation set, as in the paper (they chose
+    # n = 4 for their corpus; ours peaks at n = 6).
+    ngram = evaluate_crf(
+        java_data, lambda f, a: build_ngram_graph(f.source, a, "java", 6, f.path),
+        training_config=BENCH_TRAINING, name="java ngram",
+    )
+    paths_java = evaluate_crf(
+        java_data, path_graph_builder(6, 3), training_config=BENCH_TRAINING,
+        name="java paths",
+    )
+    rows.append(("Java        rule-based", f"{rule.accuracy:.1f}%", "23.7%"))
+    rows.append(("Java        CRFs + n-grams", f"{ngram.accuracy:.1f}%", "50.1%"))
+    rows.append(("Java        AST paths (6/3)", f"{paths_java.accuracy:.1f}%", "58.2%"))
+
+    # --- Python ---------------------------------------------------------
+    no_paths_py = evaluate_crf(
+        python_data, path_graph_builder(7, 4, abstraction="no-path"),
+        training_config=BENCH_TRAINING, name="python no-paths",
+    )
+    paths_py = evaluate_crf(
+        python_data, path_graph_builder(7, 4), training_config=BENCH_TRAINING,
+        name="python paths",
+    )
+    rows.append(("Python      no-paths", f"{no_paths_py.accuracy:.1f}%", "35.2%"))
+    rows.append(("Python      AST paths (7/4)", f"{paths_py.accuracy:.1f}%", "56.7%"))
+
+    # --- C# --------------------------------------------------------------
+    paths_cs = evaluate_crf(
+        csharp_data, path_graph_builder(7, 4), training_config=BENCH_TRAINING,
+        name="csharp paths",
+    )
+    rows.append(("C#          AST paths (7/4)", f"{paths_cs.accuracy:.1f}%", "56.1%"))
+
+    return format_table(
+        "Table 2 (top): variable name prediction with CRFs",
+        rows,
+        ("Language / model", "Measured", "Paper"),
+    )
+
+
+def test_table2_variables(benchmark, js_data, java_data, python_data, csharp_data):
+    table = benchmark.pedantic(
+        run_all, args=(js_data, java_data, python_data, csharp_data),
+        rounds=1, iterations=1,
+    )
+    emit("table2_variables", table)
+    assert "AST paths" in table

@@ -1,0 +1,49 @@
+"""Table 3: word2vec-based variable naming in JavaScript.
+
+Paper: linear token-stream 20.6%, path-neighbours (no paths) 23.2%,
+AST paths 40.4%.  The headline claim -- AST-path contexts beat both
+alternative context types by a wide margin -- is what this benchmark
+regenerates.
+"""
+
+from conftest import emit
+from repro.baselines import path_neighbor_contexts, token_stream_contexts
+from repro.eval.harness import evaluate_w2v, path_context_provider
+from repro.eval.reports import format_table
+from repro.learning.word2vec import SgnsConfig
+
+SGNS = SgnsConfig(dim=64, epochs=12)
+
+
+def run_all(js_data):
+    tokens = evaluate_w2v(
+        js_data,
+        lambda f, a: token_stream_contexts(f.source, a, "javascript"),
+        SGNS,
+        name="linear token-stream",
+    )
+    neighbors = evaluate_w2v(
+        js_data,
+        lambda f, a: path_neighbor_contexts(a),
+        SGNS,
+        name="path-neighbours, no-paths",
+    )
+    paths = evaluate_w2v(
+        js_data, path_context_provider(7, 3), SGNS, name="AST paths"
+    )
+    rows = [
+        ("linear token-stream + word2vec", f"{tokens.accuracy:.1f}%", "20.6%"),
+        ("path-neighbours, no-paths + word2vec", f"{neighbors.accuracy:.1f}%", "23.2%"),
+        ("AST paths + word2vec", f"{paths.accuracy:.1f}%", "40.4%"),
+    ]
+    return format_table(
+        "Table 3: variable naming with word2vec (JavaScript)",
+        rows,
+        ("Model", "Measured", "Paper"),
+    )
+
+
+def test_table3_word2vec(benchmark, js_data):
+    table = benchmark.pedantic(run_all, args=(js_data,), rounds=1, iterations=1)
+    emit("table3_word2vec", table)
+    assert "AST paths + word2vec" in table

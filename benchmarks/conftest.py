@@ -1,0 +1,72 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+full experiment once (under ``benchmark.pedantic`` so pytest-benchmark
+reports its wall time), prints the same rows/series the paper reports,
+and appends the table to ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Corpora and parsed ASTs are generated once per language and shared across
+benchmark modules via session-scoped fixtures.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig
+from repro.eval.harness import PreparedData, prepare_language_data
+from repro.learning.crf import TrainingConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Benchmark corpus per language: large enough for paper-like shapes,
+#: small enough that the whole suite runs in minutes.
+BENCH_CORPUS = {
+    "javascript": CorpusConfig(language="javascript", n_projects=24, files_per_project=(5, 9), seed=4),
+    "java": CorpusConfig(language="java", n_projects=18, files_per_project=(4, 8), seed=2),
+    "python": CorpusConfig(language="python", n_projects=18, files_per_project=(4, 8), seed=6),
+    "csharp": CorpusConfig(language="csharp", n_projects=18, files_per_project=(4, 8), seed=10),
+}
+
+#: Training configuration shared by the table benchmarks.
+BENCH_TRAINING = TrainingConfig(epochs=5)
+
+#: Lighter configuration for the multi-run sweep figures.
+SWEEP_TRAINING = TrainingConfig(epochs=4)
+
+
+@lru_cache(maxsize=None)
+def _prepare(language: str) -> PreparedData:
+    return prepare_language_data(language, BENCH_CORPUS[language])
+
+
+@pytest.fixture(scope="session")
+def js_data() -> PreparedData:
+    return _prepare("javascript")
+
+
+@pytest.fixture(scope="session")
+def java_data() -> PreparedData:
+    return _prepare("java")
+
+
+@pytest.fixture(scope="session")
+def python_data() -> PreparedData:
+    return _prepare("python")
+
+
+@pytest.fixture(scope="session")
+def csharp_data() -> PreparedData:
+    return _prepare("csharp")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")

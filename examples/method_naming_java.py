@@ -1,0 +1,69 @@
+"""Method-name prediction for Java (Sec. 5.3.2, Fig. 9).
+
+Trains the CRF with internal + external method paths on a generated Java
+corpus and predicts names for unseen methods, reporting exact match and
+sub-token F1 -- the two metrics of Table 2's middle section.
+
+Run:  python examples/method_naming_java.py
+"""
+
+from repro import Pigeon, parse_source
+from repro.corpus import deduplicate, generate_corpus, split_corpus
+from repro.corpus.generator import CorpusConfig
+from repro.eval.metrics import AccuracyCounter, SubtokenF1Counter
+from repro.learning.crf import TrainingConfig
+from repro.tasks.method_naming import method_elements
+
+CHALLENGE = """
+public class Challenge {
+    public int m(java.util.List<Integer> values, int value) {
+        int count = 0;
+        for (int v : values) {
+            if (v == value) {
+                count++;
+            }
+        }
+        return count;
+    }
+}
+"""
+
+
+def main() -> None:
+    print("Generating Java corpus...")
+    files = generate_corpus(
+        CorpusConfig(language="java", n_projects=14, files_per_project=(4, 8), seed=12)
+    )
+    kept, _ = deduplicate(files)
+    split = split_corpus(kept, seed=2)
+
+    pigeon = Pigeon(
+        language="java",
+        task="method_naming",
+        training_config=TrainingConfig(epochs=5),
+    )
+    pigeon.train([f.source for f in split.train])
+    print(f"Trained on {len(split.train)} files")
+
+    accuracy = AccuracyCounter()
+    f1 = SubtokenF1Counter()
+    for file in split.test:
+        predictions = pigeon.predict(file.source)
+        ast = parse_source("java", file.source)
+        golds = {key: str(info["gold"]) for key, info in method_elements(ast).items()}
+        for key, gold in golds.items():
+            predicted = predictions.get(key)
+            accuracy.add(predicted, gold)
+            f1.add(predicted, gold)
+    print(
+        f"Held-out methods: exact match {accuracy.as_percent():.1f}% "
+        f"(n={accuracy.total}), subtoken F1 {100 * f1.f1:.1f}"
+    )
+
+    print("\n=== The paper's Fig. 9 scenario: name method `m` ===")
+    for key, name in pigeon.predict(CHALLENGE).items():
+        print(f"  {key} -> {name}")
+
+
+if __name__ == "__main__":
+    main()

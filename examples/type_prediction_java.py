@@ -1,0 +1,86 @@
+"""Full-type prediction for Java (Sec. 5.3.3).
+
+Predicts fully-qualified expression types with short, narrow paths
+(length 4, width 1 -- the paper's tuned parameters), and contrasts the
+result with the naive baseline that answers ``java.lang.String``
+everywhere.  Note the deliberate ambiguity: every project has its own
+``Connection``/``Client``/... classes, so the simple name underdetermines
+the full type, exactly like ``com.mysql.jdbc.Connection`` vs
+``org.apache.http.Connection`` in the paper.
+
+Run:  python examples/type_prediction_java.py
+"""
+
+from repro import Pigeon, parse_source
+from repro.baselines.naive_type import NAIVE_TYPE
+from repro.corpus import deduplicate, generate_corpus, split_corpus
+from repro.corpus.generator import CorpusConfig
+from repro.eval.metrics import AccuracyCounter
+from repro.learning.crf import TrainingConfig
+from repro.tasks.type_prediction import build_type_graph
+from repro.core.extraction import ExtractionConfig, PathExtractor
+
+QUERY = """
+package com.nimbus.app;
+
+import com.nimbus.net.Connection;
+import java.util.List;
+
+public class Query {
+    public int demo(List<Integer> values, String name) {
+        Connection conn = openConnection();
+        String label = name + ":";
+        useResource(conn);
+        return values.size();
+    }
+}
+"""
+
+
+def gold_types(ast):
+    extractor = PathExtractor(
+        ExtractionConfig(max_length=1, max_width=0, include_semi_paths=False)
+    )
+    graph = build_type_graph(ast, extractor)
+    return {node.key: node.gold for node in graph.unknowns}
+
+
+def main() -> None:
+    print("Generating Java corpus...")
+    files = generate_corpus(
+        CorpusConfig(language="java", n_projects=14, files_per_project=(4, 8), seed=18)
+    )
+    kept, _ = deduplicate(files)
+    split = split_corpus(kept, seed=4)
+
+    pigeon = Pigeon(
+        language="java",
+        task="type_prediction",
+        training_config=TrainingConfig(epochs=5),
+    )
+    pigeon.train([f.source for f in split.train])
+    print(f"Trained on {len(split.train)} files")
+
+    paths_accuracy = AccuracyCounter()
+    naive_accuracy = AccuracyCounter()
+    for file in split.test:
+        predictions = pigeon.predict(file.source)
+        golds = gold_types(parse_source("java", file.source))
+        for key, gold in golds.items():
+            paths_accuracy.add(predictions.get(key), gold)
+            naive_accuracy.add(NAIVE_TYPE, gold)
+    print(
+        f"AST paths:      {paths_accuracy.as_percent():.1f}% "
+        f"(n={paths_accuracy.total})"
+    )
+    print(f"naive String:   {naive_accuracy.as_percent():.1f}%")
+
+    print("\n=== Per-expression predictions on a query program ===")
+    predictions = pigeon.predict(QUERY)
+    golds = gold_types(parse_source("java", QUERY))
+    for key in sorted(golds):
+        print(f"  {key:>28}: predicted={predictions.get(key)}  gold={golds[key]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""PIGEON: a general path-based representation for predicting program
+properties.
+
+Reproduction of Alon, Zilberstein, Levy & Yahav, PLDI 2018.  The public
+API surfaces three layers:
+
+* **Representation** -- :class:`~repro.core.ast_model.Ast` trees from any
+  of the four language frontends, AST paths, path-contexts and
+  abstractions, and the :class:`~repro.core.extraction.PathExtractor`.
+* **Learning** -- the CRF and word2vec engines any representation plugs
+  into.
+* **PIGEON** -- :class:`~repro.core.pigeon.Pigeon`, the train/predict
+  facade for the three tasks over the four languages.
+"""
+
+from .core.abstractions import ABSTRACTIONS, get_abstraction
+from .core.ast_model import Ast, Node
+from .core.extraction import ExtractionConfig, PathExtractor, extract_path_contexts
+from .core.path_context import PathContext
+from .core.paths import AstPath, NWisePath, path_between, semi_path
+from .core.pigeon import Pigeon
+from .lang.base import parse_source, supported_languages
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABSTRACTIONS",
+    "Ast",
+    "AstPath",
+    "ExtractionConfig",
+    "NWisePath",
+    "Node",
+    "PathContext",
+    "PathExtractor",
+    "Pigeon",
+    "extract_path_contexts",
+    "get_abstraction",
+    "parse_source",
+    "path_between",
+    "semi_path",
+    "supported_languages",
+    "__version__",
+]

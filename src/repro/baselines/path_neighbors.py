@@ -1,0 +1,47 @@
+"""Path-neighbours, no-paths contexts for word2vec (Table 3, row 2).
+
+"The path-neighbors, no-paths approach uses the same surrounding AST
+nodes for contexts as AST paths, except that the path itself is hidden,
+and only the identity of the surrounding AST nodes is used."  Its purpose
+in the paper is to show that the advantage of AST paths over the token
+stream is not only their wider span but the path representation itself.
+
+Implemented by running the standard element-context extraction under the
+``no-path`` abstraction: identical neighbour set, constant relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.ast_model import Ast
+from ..core.extraction import ExtractionConfig, PathExtractor
+from ..tasks.variable_naming import element_contexts
+
+
+def _neighbor_extractor(max_length: int, max_width: int) -> PathExtractor:
+    return PathExtractor(
+        ExtractionConfig(
+            max_length=max_length, max_width=max_width, abstraction="no-path"
+        )
+    )
+
+
+def path_neighbor_contexts(
+    ast: Ast, max_length: int = 7, max_width: int = 3
+) -> Dict[str, Tuple[str, List[str]]]:
+    """binding -> (gold name, neighbour-identity context tokens)."""
+    return element_contexts(ast, _neighbor_extractor(max_length, max_width))
+
+
+def path_neighbor_pairs(
+    ast: Ast, max_length: int = 7, max_width: int = 3
+) -> List[Tuple[str, str]]:
+    """(gold name, context token) SGNS training pairs."""
+    pairs: List[Tuple[str, str]] = []
+    for _binding, (gold, tokens) in path_neighbor_contexts(
+        ast, max_length, max_width
+    ).items():
+        for token in tokens:
+            pairs.append((gold, token))
+    return pairs

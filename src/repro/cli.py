@@ -1,0 +1,152 @@
+"""Command-line interface for PIGEON.
+
+Usage::
+
+    python -m repro.cli paths <file>            # print path-contexts
+    python -m repro.cli rename <file> [...]     # deobfuscate (train on a
+                                                # generated corpus first)
+    python -m repro.cli experiment <language>   # run a mini experiment
+    python -m repro.cli languages               # list supported languages
+
+The CLI is a thin veneer over :class:`repro.Pigeon` and the experiment
+harness; anything it does is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import ExtractionConfig, PathExtractor, Pigeon, parse_source, supported_languages
+from .corpus import deduplicate, generate_corpus
+from .corpus.generator import CorpusConfig
+from .eval.harness import evaluate_crf, path_graph_builder, prepare_language_data
+from .learning.crf import TrainingConfig
+
+_EXTENSION_LANGUAGES = {
+    ".js": "javascript",
+    ".java": "java",
+    ".py": "python",
+    ".cs": "csharp",
+}
+
+
+def _guess_language(path: str, explicit: Optional[str]) -> str:
+    if explicit:
+        return explicit
+    for extension, language in _EXTENSION_LANGUAGES.items():
+        if path.endswith(extension):
+            return language
+    raise SystemExit(
+        f"cannot infer language of {path!r}; pass --language explicitly"
+    )
+
+
+def cmd_languages(_args: argparse.Namespace) -> int:
+    for language in supported_languages():
+        print(language)
+    return 0
+
+
+def cmd_paths(args: argparse.Namespace) -> int:
+    language = _guess_language(args.file, args.language)
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    ast = parse_source(language, source)
+    extractor = PathExtractor(
+        ExtractionConfig(
+            max_length=args.max_length,
+            max_width=args.max_width,
+            include_semi_paths=args.semi_paths,
+        )
+    )
+    for extracted in extractor.extract(ast):
+        print(extracted.context)
+    return 0
+
+
+def cmd_rename(args: argparse.Namespace) -> int:
+    language = _guess_language(args.file, args.language)
+    if language not in ("javascript", "python"):
+        raise SystemExit("rename supports javascript and python (printable languages)")
+    print(f"Training on a generated {language} corpus...", file=sys.stderr)
+    files = generate_corpus(
+        CorpusConfig(language=language, n_projects=args.projects, seed=args.seed)
+    )
+    kept, _removed = deduplicate(files)
+    pigeon = Pigeon(
+        language=language,
+        training_config=TrainingConfig(epochs=args.epochs),
+    )
+    pigeon.train([f.source for f in kept])
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    print(pigeon.rename(source))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    data = prepare_language_data(
+        args.language,
+        CorpusConfig(language=args.language, n_projects=args.projects, seed=args.seed),
+    )
+    result = evaluate_crf(
+        data,
+        path_graph_builder(args.max_length, args.max_width),
+        training_config=TrainingConfig(epochs=args.epochs),
+        name=f"{args.language} AST paths ({args.max_length}/{args.max_width})",
+    )
+    print(result.summary())
+    print(
+        f"  extraction {result.extract_seconds:.1f}s, "
+        f"training {result.train_seconds:.1f}s, "
+        f"{result.parameters} parameters"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="pigeon", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("languages", help="list supported languages").set_defaults(
+        func=cmd_languages
+    )
+
+    paths = sub.add_parser("paths", help="print path-contexts of a file")
+    paths.add_argument("file")
+    paths.add_argument("--language", default=None)
+    paths.add_argument("--max-length", type=int, default=7)
+    paths.add_argument("--max-width", type=int, default=3)
+    paths.add_argument("--semi-paths", action="store_true")
+    paths.set_defaults(func=cmd_paths)
+
+    rename = sub.add_parser("rename", help="predict names and print renamed source")
+    rename.add_argument("file")
+    rename.add_argument("--language", default=None)
+    rename.add_argument("--projects", type=int, default=16)
+    rename.add_argument("--epochs", type=int, default=5)
+    rename.add_argument("--seed", type=int, default=8)
+    rename.set_defaults(func=cmd_rename)
+
+    experiment = sub.add_parser("experiment", help="run a mini variable-naming experiment")
+    experiment.add_argument("language", choices=supported_languages())
+    experiment.add_argument("--projects", type=int, default=12)
+    experiment.add_argument("--epochs", type=int, default=4)
+    experiment.add_argument("--max-length", type=int, default=7)
+    experiment.add_argument("--max-width", type=int, default=3)
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

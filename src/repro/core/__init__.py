@@ -1,0 +1,30 @@
+"""The paper's primary contribution: AST paths and their machinery."""
+
+from .abstractions import ABSTRACTIONS, ABSTRACTION_LADDER, get_abstraction
+from .ast_model import Ast, Node, lowest_common_ancestor
+from .extraction import ExtractedPath, ExtractionConfig, PathExtractor, extract_path_contexts
+from .path_context import PathContext, make_path_context
+from .paths import DOWN, UP, AstPath, NWisePath, path_between, semi_path
+from .pigeon import Pigeon
+
+__all__ = [
+    "ABSTRACTIONS",
+    "ABSTRACTION_LADDER",
+    "Ast",
+    "AstPath",
+    "DOWN",
+    "ExtractedPath",
+    "ExtractionConfig",
+    "NWisePath",
+    "Node",
+    "PathContext",
+    "PathExtractor",
+    "Pigeon",
+    "UP",
+    "extract_path_contexts",
+    "get_abstraction",
+    "lowest_common_ancestor",
+    "make_path_context",
+    "path_between",
+    "semi_path",
+]

@@ -1,0 +1,231 @@
+"""Generic abstract syntax tree model.
+
+This module implements Definition 4.1 of the paper: an AST is a tuple
+``<N, T, X, s, delta, val>`` where ``N`` is a set of nonterminal nodes,
+``T`` a set of terminal nodes, ``X`` a set of terminal values, ``s`` the
+root, ``delta`` maps a nonterminal to the ordered list of its children and
+``val`` maps a terminal to its value.
+
+Every language frontend in :mod:`repro.lang` produces trees made of
+:class:`Node`.  The representation machinery in :mod:`repro.core.paths`
+consumes them.  Nodes carry:
+
+* ``kind`` -- the grammar symbol name (``While``, ``SymbolRef``, ...).  For
+  operator-bearing nodes the frontends append the operator so that, e.g.,
+  an assignment shows as ``Assign=`` and a logical negation as
+  ``UnaryPrefix!`` exactly like the paper's UglifyJS examples.
+* ``value`` -- the terminal value (identifier text, literal text) or
+  ``None`` for nonterminals.
+* ``children`` -- ordered child list (``delta``).
+* ``parent`` -- the inverse map ``pi`` (``None`` for the root).
+* ``meta`` -- a free-form dict frontends use to attach task information
+  (e.g. ``{"id_kind": "local"}`` for identifiers that are renameable, or
+  ``{"type": "java.lang.String"}`` for typed expressions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+
+class Node:
+    """A single AST node (terminal or nonterminal)."""
+
+    __slots__ = ("kind", "value", "children", "parent", "meta", "_leaf_index")
+
+    def __init__(
+        self,
+        kind: str,
+        value: Optional[str] = None,
+        children: Optional[Sequence["Node"]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.kind = kind
+        self.value = value
+        self.children: List[Node] = []
+        self.parent: Optional[Node] = None
+        self.meta: Dict[str, Any] = meta if meta is not None else {}
+        self._leaf_index: Optional[int] = None
+        for child in children or ():
+            self.add_child(child)
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def add_child(self, child: "Node") -> "Node":
+        """Append ``child`` to this node's ordered child list."""
+        if child.parent is not None:
+            raise ValueError(
+                f"node {child!r} already has a parent; every node appears "
+                f"exactly once in all children lists (Def. 4.1)"
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        """Terminals are the nodes with no children (the set ``T``)."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def child_index(self) -> int:
+        """Position of this node in its parent's child list.
+
+        Used by the width computation of Sec. 4.2.  Raises ``ValueError``
+        for the root, whose parent is undefined.
+        """
+        if self.parent is None:
+            raise ValueError("the root node has no parent (Def. 4.1)")
+        for i, sibling in enumerate(self.parent.children):
+            if sibling is self:
+                return i
+        raise AssertionError("node missing from its parent's child list")
+
+    def ancestors(self, include_self: bool = False) -> Iterator["Node"]:
+        """Yield ancestors from the parent (or self) up to the root."""
+        node = self if include_self else self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self) -> int:
+        """Number of edges from this node to the root."""
+        return sum(1 for _ in self.ancestors())
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> Iterator["Node"]:
+        """Terminals of this subtree in left-to-right source order."""
+        for node in self.walk():
+            if node.is_terminal:
+                yield node
+
+    def nonterminals(self) -> Iterator["Node"]:
+        for node in self.walk():
+            if not node.is_terminal:
+                yield node
+
+    def find(self, kind: str) -> Iterator["Node"]:
+        """All nodes of the given kind in pre-order."""
+        for node in self.walk():
+            if node.kind == kind:
+                yield node
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        """Human-readable node label: kind, plus value for terminals."""
+        if self.value is not None:
+            return f"{self.kind}({self.value})"
+        return self.kind
+
+    def pretty(self, indent: str = "  ") -> str:
+        """Render the subtree as an indented outline (for docs/debugging)."""
+        lines: List[str] = []
+
+        def rec(node: Node, depth: int) -> None:
+            lines.append(f"{indent * depth}{node.label()}")
+            for child in node.children:
+                rec(child, depth + 1)
+
+        rec(self, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.label()!r}, {len(self.children)} children)"
+
+
+class Ast:
+    """A complete AST: the tuple of Def. 4.1 plus cached leaf ordering.
+
+    The class wraps a root :class:`Node` and precomputes the left-to-right
+    index of every terminal, which the extractor uses to enumerate leaf
+    pairs and to compute path *width* cheaply.
+    """
+
+    def __init__(self, root: Node, language: str = "generic") -> None:
+        self.root = root
+        self.language = language
+        self._leaves: List[Node] = []
+        self._index_leaves()
+
+    def _index_leaves(self) -> None:
+        self._leaves = list(self.root.leaves())
+        for i, leaf in enumerate(self._leaves):
+            leaf._leaf_index = i
+
+    # -- Def. 4.1 accessors -------------------------------------------
+    @property
+    def start(self) -> Node:
+        """The root node ``s``."""
+        return self.root
+
+    def delta(self, node: Node) -> List[Node]:
+        """Children function ``delta``; defined for nonterminals."""
+        return list(node.children)
+
+    def pi(self, node: Node) -> Optional[Node]:
+        """Parent function ``pi`` (inverse of ``delta``)."""
+        return node.parent
+
+    def val(self, node: Node) -> str:
+        """Terminal value function ``val``."""
+        if not node.is_terminal or node.value is None:
+            raise ValueError(f"val is defined only for terminals, got {node!r}")
+        return node.value
+
+    # -- Derived data --------------------------------------------------
+    @property
+    def leaves(self) -> List[Node]:
+        return self._leaves
+
+    def leaf_index(self, leaf: Node) -> int:
+        if leaf._leaf_index is None:
+            raise ValueError("node is not a leaf of this AST")
+        return leaf._leaf_index
+
+    def size(self) -> int:
+        """Total number of nodes."""
+        return sum(1 for _ in self.root.walk())
+
+    def terminals(self) -> List[Node]:
+        return list(self._leaves)
+
+    def refresh(self) -> None:
+        """Re-index leaves after an in-place tree mutation."""
+        self._index_leaves()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ast(language={self.language!r}, nodes={self.size()})"
+
+
+def lowest_common_ancestor(a: Node, b: Node) -> Node:
+    """Lowest common ancestor of two nodes of the same tree."""
+    seen = set()
+    node: Optional[Node] = a
+    while node is not None:
+        seen.add(id(node))
+        node = node.parent
+    node = b
+    while node is not None:
+        if id(node) in seen:
+            return node
+        node = node.parent
+    raise ValueError("nodes do not belong to the same tree")

@@ -1,0 +1,54 @@
+"""Duplicate filtering (Sec. 5.2).
+
+The paper devoted "much effort" to filtering GitHub duplicates using file
+names, directory names (such as ``node_modules``) and file md5 digests.
+We implement the same three filters over generated corpora.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Set, Tuple
+
+from .generator import CorpusFile
+
+#: Directory names whose contents are vendored copies, not project code.
+VENDORED_DIRS = ("node_modules", "vendor", "third_party", "bower_components")
+
+
+def content_digest(source: str) -> str:
+    """md5 digest of file content (the paper's third filter)."""
+    return hashlib.md5(source.encode("utf-8")).hexdigest()
+
+
+def is_vendored(path: str) -> bool:
+    parts = path.split("/")
+    return any(part in VENDORED_DIRS for part in parts)
+
+
+def deduplicate(files: Iterable[CorpusFile]) -> Tuple[List[CorpusFile], int]:
+    """Filter duplicates; returns (kept files, number removed).
+
+    Three filters, in the paper's order: vendored directory names, exact
+    file-name collisions within a project, and content md5.
+    """
+    kept: List[CorpusFile] = []
+    removed = 0
+    seen_digests: Set[str] = set()
+    seen_names: Set[Tuple[str, str]] = set()
+    for file in files:
+        if is_vendored(file.path):
+            removed += 1
+            continue
+        name_key = (file.project, file.path.rsplit("/", 1)[-1])
+        if name_key in seen_names:
+            removed += 1
+            continue
+        digest = content_digest(file.source)
+        if digest in seen_digests:
+            removed += 1
+            continue
+        seen_names.add(name_key)
+        seen_digests.add(digest)
+        kept.append(file)
+    return kept, removed

@@ -1,0 +1,225 @@
+"""Lower the corpus IR to C# source text (typed)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ir import (
+    BOOL,
+    CUSTOM_PREFIX,
+    DOUBLE,
+    INT,
+    LIST_INT,
+    LIST_STRING,
+    MAP_STR_INT,
+    OBJECT,
+    STRING,
+    VOID,
+    Append,
+    Assign,
+    Aug,
+    Bin,
+    Break,
+    CallFree,
+    CallLocal,
+    Decl,
+    Expr,
+    ExprStmt,
+    FileSpec,
+    ForEach,
+    ForRange,
+    Function,
+    If,
+    Incr,
+    Index,
+    Len,
+    Lit,
+    MapGet,
+    MapHas,
+    MapPut,
+    NewCollection,
+    Not,
+    Return,
+    Stmt,
+    StrCat,
+    Throw,
+    Var,
+    While,
+    expr_type,
+)
+
+_INDENT = "    "
+
+_TYPE_NAMES = {
+    INT: "int",
+    DOUBLE: "double",
+    BOOL: "bool",
+    STRING: "string",
+    LIST_INT: "List<int>",
+    LIST_STRING: "List<string>",
+    MAP_STR_INT: "Dictionary<string, int>",
+    VOID: "void",
+    OBJECT: "object",
+}
+
+
+def cs_type(type_tag: str) -> str:
+    if type_tag.startswith(CUSTOM_PREFIX):
+        return type_tag[len(CUSTOM_PREFIX):]
+    return _TYPE_NAMES[type_tag]
+
+
+def render_expr(expr: Expr) -> str:
+    if isinstance(expr, Var):
+        return expr.slot.name
+    if isinstance(expr, Lit):
+        return _literal(expr)
+    if isinstance(expr, Bin):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, Not):
+        return f"!{render_expr(expr.operand)}"
+    if isinstance(expr, CallFree):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        # Free functions become static calls on a Helpers class so the
+        # source is structurally idiomatic C#.
+        name = expr.name[0].upper() + expr.name[1:]
+        return f"Helpers.{name}({args})"
+    if isinstance(expr, CallLocal):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        name = "".join(part.capitalize() for part in expr.name_subtokens)
+        return f"{name}({args})"
+    if isinstance(expr, Len):
+        operand = render_expr(expr.operand)
+        if expr_type(expr.operand) == STRING:
+            return f"{operand}.Length"
+        return f"{operand}.Count"
+    if isinstance(expr, Index):
+        return f"{render_expr(expr.collection)}[{render_expr(expr.index)}]"
+    if isinstance(expr, MapGet):
+        return f"{render_expr(expr.map)}[{render_expr(expr.key)}]"
+    if isinstance(expr, MapHas):
+        return f"{render_expr(expr.map)}.ContainsKey({render_expr(expr.key)})"
+    if isinstance(expr, StrCat):
+        return f"({render_expr(expr.left)} + {render_expr(expr.right)})"
+    if isinstance(expr, NewCollection):
+        if expr.type == MAP_STR_INT:
+            return "new Dictionary<string, int>()"
+        if expr.type == LIST_STRING:
+            return "new List<string>()"
+        return "new List<int>()"
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _literal(lit: Lit) -> str:
+    if lit.value is None:
+        return "null"
+    if lit.type == BOOL:
+        return "true" if lit.value else "false"
+    if lit.type == STRING:
+        return '"' + str(lit.value) + '"'
+    if lit.type == DOUBLE:
+        text = repr(float(lit.value))
+        return text if "." in text else text + ".0"
+    return repr(lit.value)
+
+
+def render_stmt(stmt: Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, Decl):
+        type_name = cs_type(stmt.slot.type)
+        if stmt.init is None:
+            return [f"{pad}{type_name} {stmt.slot.name};"]
+        return [f"{pad}{type_name} {stmt.slot.name} = {render_expr(stmt.init)};"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{render_expr(stmt.target)} = {render_expr(stmt.value)};"]
+    if isinstance(stmt, Aug):
+        return [f"{pad}{render_expr(stmt.target)} {stmt.op}= {render_expr(stmt.value)};"]
+    if isinstance(stmt, Incr):
+        return [f"{pad}{render_expr(stmt.target)}++;"]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({render_expr(stmt.cond)}) {{"]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, depth + 1))
+        if stmt.orelse:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.orelse:
+                lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{pad}while ({render_expr(stmt.cond)}) {{"]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ForRange):
+        name = stmt.slot.name
+        lines = [
+            f"{pad}for (int {name} = 0; {name} < {render_expr(stmt.stop)}; {name}++) {{"
+        ]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ForEach):
+        elem_type = cs_type(stmt.slot.type)
+        lines = [
+            f"{pad}foreach ({elem_type} {stmt.slot.name} in {render_expr(stmt.iterable)}) {{"
+        ]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {render_expr(stmt.value)};"]
+    if isinstance(stmt, ExprStmt):
+        return [f"{pad}{render_expr(stmt.expr)};"]
+    if isinstance(stmt, Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, Append):
+        return [f"{pad}{render_expr(stmt.collection)}.Add({render_expr(stmt.value)});"]
+    if isinstance(stmt, MapPut):
+        return [
+            f"{pad}{render_expr(stmt.map)}[{render_expr(stmt.key)}] = "
+            f"{render_expr(stmt.value)};"
+        ]
+    if isinstance(stmt, Throw):
+        return [f'{pad}throw new ArgumentException("{stmt.message}");']
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def render_function(fn: Function) -> str:
+    params = ", ".join(f"{cs_type(p.type)} {p.name}" for p in fn.params)
+    header = (
+        f"{_INDENT}{_INDENT}public {cs_type(fn.return_type)} "
+        f"{fn.pascal_name()}({params}) {{"
+    )
+    lines = [header]
+    for stmt in fn.body:
+        lines.extend(render_stmt(stmt, 3))
+    lines.append(f"{_INDENT}{_INDENT}}}")
+    return "\n".join(lines)
+
+
+def render_file(spec: FileSpec) -> str:
+    """Render a file spec to a C# compilation unit."""
+    class_name = spec.class_name or "".join(
+        part.capitalize() for part in spec.module.split("_")
+    )
+    project = spec.project.capitalize()
+    lines = [
+        "using System;",
+        "using System.Collections.Generic;",
+        "",
+        f"namespace {project}.App {{",
+        f"{_INDENT}public class {class_name} {{",
+        "",
+    ]
+    for fn in spec.functions:
+        lines.append(render_function(fn))
+        lines.append("")
+    lines.append(f"{_INDENT}}}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,275 @@
+"""Lower the corpus IR to Java source text (typed)."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .ir import (
+    BOOL,
+    CUSTOM_PREFIX,
+    DOUBLE,
+    INT,
+    LIST_INT,
+    LIST_STRING,
+    MAP_STR_INT,
+    OBJECT,
+    STRING,
+    VOID,
+    Append,
+    Assign,
+    Aug,
+    Bin,
+    Break,
+    CallFree,
+    CallLocal,
+    Decl,
+    Expr,
+    ExprStmt,
+    FileSpec,
+    ForEach,
+    ForRange,
+    Function,
+    If,
+    Incr,
+    Index,
+    Len,
+    Lit,
+    MapGet,
+    MapHas,
+    MapPut,
+    NewCollection,
+    Not,
+    Return,
+    Stmt,
+    StrCat,
+    Throw,
+    Var,
+    While,
+    expr_type,
+)
+
+_INDENT = "    "
+
+_TYPE_NAMES = {
+    INT: "int",
+    DOUBLE: "double",
+    BOOL: "boolean",
+    STRING: "String",
+    LIST_INT: "List<Integer>",
+    LIST_STRING: "List<String>",
+    MAP_STR_INT: "Map<String, Integer>",
+    VOID: "void",
+    OBJECT: "Object",
+}
+
+_IMPORTS = {
+    LIST_INT: ("java.util.List", "java.util.ArrayList"),
+    LIST_STRING: ("java.util.List", "java.util.ArrayList"),
+    MAP_STR_INT: ("java.util.Map", "java.util.HashMap"),
+}
+
+_OP_MAP = {"&&": "&&", "||": "||"}
+
+
+def java_type(type_tag: str) -> str:
+    if type_tag.startswith(CUSTOM_PREFIX):
+        return type_tag[len(CUSTOM_PREFIX):]
+    return _TYPE_NAMES[type_tag]
+
+
+def render_expr(expr: Expr) -> str:
+    if isinstance(expr, Var):
+        return expr.slot.name
+    if isinstance(expr, Lit):
+        return _literal(expr)
+    if isinstance(expr, Bin):
+        op = _OP_MAP.get(expr.op, expr.op)
+        return f"({render_expr(expr.left)} {op} {render_expr(expr.right)})"
+    if isinstance(expr, Not):
+        return f"!{render_expr(expr.operand)}"
+    if isinstance(expr, CallFree):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, CallLocal):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        first, *rest = expr.name_subtokens
+        name = first + "".join(part.capitalize() for part in rest)
+        return f"{name}({args})"
+    if isinstance(expr, Len):
+        operand = render_expr(expr.operand)
+        if expr_type(expr.operand) == STRING:
+            return f"{operand}.length()"
+        return f"{operand}.size()"
+    if isinstance(expr, Index):
+        return f"{render_expr(expr.collection)}.get({render_expr(expr.index)})"
+    if isinstance(expr, MapGet):
+        return f"{render_expr(expr.map)}.get({render_expr(expr.key)})"
+    if isinstance(expr, MapHas):
+        return f"{render_expr(expr.map)}.containsKey({render_expr(expr.key)})"
+    if isinstance(expr, StrCat):
+        return f"({render_expr(expr.left)} + {render_expr(expr.right)})"
+    if isinstance(expr, NewCollection):
+        if expr.type == MAP_STR_INT:
+            return "new HashMap<String, Integer>()"
+        if expr.type == LIST_STRING:
+            return "new ArrayList<String>()"
+        return "new ArrayList<Integer>()"
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _literal(lit: Lit) -> str:
+    if lit.value is None:
+        return "null"
+    if lit.type == BOOL:
+        return "true" if lit.value else "false"
+    if lit.type == STRING:
+        return '"' + str(lit.value) + '"'
+    if lit.type == DOUBLE:
+        text = repr(float(lit.value))
+        return text if "." in text or "e" in text else text + ".0"
+    return repr(lit.value)
+
+
+def render_stmt(stmt: Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, Decl):
+        type_name = java_type(stmt.slot.type)
+        if stmt.init is None:
+            return [f"{pad}{type_name} {stmt.slot.name};"]
+        return [f"{pad}{type_name} {stmt.slot.name} = {render_expr(stmt.init)};"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{render_expr(stmt.target)} = {render_expr(stmt.value)};"]
+    if isinstance(stmt, Aug):
+        return [f"{pad}{render_expr(stmt.target)} {stmt.op}= {render_expr(stmt.value)};"]
+    if isinstance(stmt, Incr):
+        return [f"{pad}{render_expr(stmt.target)}++;"]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({render_expr(stmt.cond)}) {{"]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, depth + 1))
+        if stmt.orelse:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.orelse:
+                lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{pad}while ({render_expr(stmt.cond)}) {{"]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ForRange):
+        name = stmt.slot.name
+        lines = [
+            f"{pad}for (int {name} = 0; {name} < {render_expr(stmt.stop)}; {name}++) {{"
+        ]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ForEach):
+        elem_type = java_type(stmt.slot.type)
+        lines = [
+            f"{pad}for ({elem_type} {stmt.slot.name} : {render_expr(stmt.iterable)}) {{"
+        ]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {render_expr(stmt.value)};"]
+    if isinstance(stmt, ExprStmt):
+        return [f"{pad}{render_expr(stmt.expr)};"]
+    if isinstance(stmt, Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, Append):
+        return [f"{pad}{render_expr(stmt.collection)}.add({render_expr(stmt.value)});"]
+    if isinstance(stmt, MapPut):
+        return [
+            f"{pad}{render_expr(stmt.map)}.put({render_expr(stmt.key)}, "
+            f"{render_expr(stmt.value)});"
+        ]
+    if isinstance(stmt, Throw):
+        return [f'{pad}throw new IllegalArgumentException("{stmt.message}");']
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _collect_imports(spec: FileSpec) -> List[str]:
+    needed: Set[str] = set()
+
+    def scan_type(tag: str) -> None:
+        if tag.startswith(CUSTOM_PREFIX):
+            # Custom classes qualify with a project-dependent package, so
+            # the same simple name denotes different full types across
+            # projects (the full-type task's ambiguity source).
+            simple = tag[len(CUSTOM_PREFIX):]
+            needed.add(f"com.{spec.project}.net.{simple}")
+            return
+        for imp in _IMPORTS.get(tag, ()):
+            needed.add(imp)
+
+    def scan_expr(expr: Expr) -> None:
+        if isinstance(expr, NewCollection):
+            scan_type(expr.type)
+        for attr in ("left", "right", "operand", "collection", "index", "map", "key"):
+            child = getattr(expr, attr, None)
+            if child is not None and not isinstance(child, str):
+                scan_expr(child)
+        if isinstance(expr, CallFree):
+            scan_type(expr.return_type)
+            for arg in expr.args:
+                scan_expr(arg)
+
+    def scan_stmt(stmt: Stmt) -> None:
+        for attr in ("init", "target", "value", "cond", "stop", "iterable", "expr", "key", "map", "collection"):
+            child = getattr(stmt, attr, None)
+            if child is not None and not isinstance(child, (str, list)):
+                scan_expr(child)
+        if isinstance(stmt, (Decl,)):
+            scan_type(stmt.slot.type)
+        if isinstance(stmt, (ForRange, ForEach)):
+            scan_type(stmt.slot.type)
+        for attr in ("body", "orelse"):
+            for inner in getattr(stmt, attr, ()) or ():
+                scan_stmt(inner)
+
+    for fn in spec.functions:
+        scan_type(fn.return_type)
+        for param in fn.params:
+            scan_type(param.type)
+        for stmt in fn.body:
+            scan_stmt(stmt)
+    return sorted(needed)
+
+
+def render_function(fn: Function) -> str:
+    params = ", ".join(f"{java_type(p.type)} {p.name}" for p in fn.params)
+    header = f"{_INDENT}public {java_type(fn.return_type)} {fn.camel_name()}({params}) {{"
+    lines = [header]
+    for stmt in fn.body:
+        lines.extend(render_stmt(stmt, 2))
+    lines.append(f"{_INDENT}}}")
+    return "\n".join(lines)
+
+
+def render_file(spec: FileSpec) -> str:
+    """Render a file spec to a Java compilation unit."""
+    class_name = spec.class_name or "".join(
+        part.capitalize() for part in spec.module.split("_")
+    )
+    lines = [f"package com.{spec.project}.app;", ""]
+    imports = _collect_imports(spec)
+    for imp in imports:
+        lines.append(f"import {imp};")
+    if imports:
+        lines.append("")
+    lines.append(f"public class {class_name} {{")
+    lines.append("")
+    for fn in spec.functions:
+        lines.append(render_function(fn))
+        lines.append("")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,531 @@
+"""Semantic program templates with structurally-keyed naming.
+
+Every template builds a small function in the IR of :mod:`repro.corpus.ir`
+and chooses gold variable names *as a function of the structural variant*
+it sampled (loop kind, guard shape, operator, branch order), with a small
+uniform noise floor.  This reproduces the property of real code the paper
+exploits: the role of an element -- visible only through its syntactic
+context -- predicts its name.  Representations that see structure (AST
+paths) can recover the variant and hence the name; representations that
+only see a bag of nearby identifiers cannot, because the identifier bag
+is deliberately near-identical across variants (cf. the paper's Fig. 3).
+
+Templates also correlate names *across* slots (``items`` ↔ ``item``),
+which pairwise CRF factors exploit but context-independent predictors
+cannot -- mirroring the CRF > word2vec gap of Sec. 5.3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from .ir import (
+    BOOL,
+    DOUBLE,
+    INT,
+    LIST_INT,
+    LIST_STRING,
+    MAP_STR_INT,
+    STRING,
+    VOID,
+    Append,
+    Assign,
+    Aug,
+    Bin,
+    Break,
+    CallFree,
+    Decl,
+    ExprStmt,
+    ForEach,
+    ForRange,
+    Function,
+    If,
+    Incr,
+    Index,
+    Len,
+    Lit,
+    MapGet,
+    MapHas,
+    MapPut,
+    NewCollection,
+    Not,
+    OBJECT,
+    Return,
+    StrCat,
+    Throw,
+    Var,
+    VarSlot,
+    While,
+)
+
+#: Opaque object parameters (rendered per language).
+OBJECT_PARAM_TYPE = OBJECT
+
+#: Fraction of slots whose name ignores the structural key (noise floor).
+NAME_NOISE = 0.15
+
+#: Rare long-tail names, a source of out-of-vocabulary labels (Sec. 5.3).
+RARE_NAMES = (
+    "quux", "fribble", "zorp", "blatherskite", "snark", "wombat", "frobnitz",
+    "gizmo", "widgetron", "thingamajig", "doohickey", "whatsit", "gadget",
+    "contraption", "gubbins", "oojamaflip", "doodad", "knickknack",
+)
+RARE_NAME_PROB = 0.02
+
+#: Condition / work functions (shared across variants on purpose: they
+#: must NOT leak the structural variant to bag-of-identifier models).
+COND_FUNCTIONS = ("someCondition", "checkState", "isReady", "shouldStop")
+WORK_FUNCTIONS = ("doSomething", "process", "update", "refresh")
+
+#: Plural/singular pairs for collection/element slots.
+COLLECTION_PAIRS = (
+    ("values", "value"),
+    ("items", "item"),
+    ("elements", "element"),
+    ("numbers", "number"),
+    ("list", "item"),  # the type-derived convention rule-based predicts
+)
+
+#: Per-project domains flavouring distractor calls.
+DOMAINS = {
+    "web": ("log", "fetch", "render", "notify"),
+    "math": ("normalize", "clamp", "round2", "scale"),
+    "io": ("open", "flush", "close", "sync"),
+    "data": ("load", "store", "index2", "emit"),
+}
+
+
+def keyed_name(
+    rng: random.Random, pool: Sequence[str], key: int, salt: int = 0
+) -> str:
+    """Pick a name from ``pool`` keyed by a structural variant.
+
+    With probability :data:`NAME_NOISE` the key is ignored (uniform
+    choice); with probability :data:`RARE_NAME_PROB` a rare long-tail
+    name is used instead (the OoV source).
+    """
+    roll = rng.random()
+    if roll < RARE_NAME_PROB:
+        return rng.choice(RARE_NAMES)
+    if roll < RARE_NAME_PROB + NAME_NOISE:
+        return rng.choice(list(pool))
+    return pool[(key + salt) % len(pool)]
+
+
+def _cond(rng: random.Random) -> CallFree:
+    return CallFree(rng.choice(COND_FUNCTIONS), [], BOOL)
+
+
+def _work(rng: random.Random) -> ExprStmt:
+    return ExprStmt(CallFree(rng.choice(WORK_FUNCTIONS), [], VOID))
+
+
+# ----------------------------------------------------------------------
+# Templates.  Each builder: (rng) -> Function
+# ----------------------------------------------------------------------
+
+
+def t_flag_loop(rng: random.Random) -> Function:
+    """The paper's Fig. 1a pattern: a boolean loop-stopping flag."""
+    variant = rng.randrange(4)
+    flag = VarSlot(keyed_name(rng, ("done", "finished", "stop", "running"), variant), BOOL)
+    cond = _cond(rng)
+    set_true = Assign(Var(flag), Lit(True, BOOL))
+    set_false = Assign(Var(flag), Lit(False, BOOL))
+    if variant == 0:
+        body = [Decl(flag, Lit(False, BOOL)), While(Not(Var(flag)), [If(cond, [set_true])])]
+    elif variant == 1:
+        body = [
+            Decl(flag, Lit(False, BOOL)),
+            While(Not(Var(flag)), [_work(rng), If(cond, [set_true])]),
+        ]
+    elif variant == 2:
+        body = [
+            Decl(flag, Lit(False, BOOL)),
+            While(Not(Var(flag)), [If(cond, [set_true], [_work(rng)])]),
+        ]
+    else:
+        body = [Decl(flag, Lit(True, BOOL)), While(Var(flag), [If(cond, [set_false])])]
+    name = (("wait",), ("run", "loop"), ("poll",), ("spin",))[variant]
+    return Function(name, [], body, VOID, template="flag_loop")
+
+
+def t_straightline_flag(rng: random.Random) -> Function:
+    """Fig. 3b: same identifier bag as ``flag_loop`` but no loop role."""
+    variant = rng.randrange(4)
+    flag = VarSlot(
+        keyed_name(rng, ("enabled", "active", "visible", "valid"), variant), BOOL
+    )
+    cond_stmt = ExprStmt(_cond(rng))
+    work = _work(rng)
+    decl = Decl(flag, Lit(False, BOOL))
+    set_true = Assign(Var(flag), Lit(True, BOOL))
+    if variant == 0:
+        body = [cond_stmt, work, decl, set_true]
+    elif variant == 1:
+        body = [decl, cond_stmt, set_true, work]
+    elif variant == 2:
+        body = [work, decl, cond_stmt, set_true]
+    else:
+        body = [decl, work, set_true, cond_stmt]
+    name = (("init",), ("setup",), ("prepare",), ("configure",))[variant]
+    return Function(name, [], body, VOID, template="straightline_flag")
+
+
+def t_counter(rng: random.Random) -> Function:
+    """The paper's Fig. 9 pattern: count matching elements."""
+    loop_kind = rng.randrange(2)  # 0: foreach, 1: indexed for
+    cmp_op = rng.randrange(2)  # 0: ==, 1: >
+    variant = loop_kind * 2 + cmp_op
+    counter = VarSlot(keyed_name(rng, ("count", "counter", "total", "matches"), variant), INT)
+    values = VarSlot(keyed_name(rng, [p for p, _ in COLLECTION_PAIRS], variant), LIST_INT, "param")
+    # Element/target names follow the collection's singular.
+    singular_pool = [s for _, s in COLLECTION_PAIRS]
+    plural_pool = [p for p, _ in COLLECTION_PAIRS]
+    target_idx = plural_pool.index(values.name) if values.name in plural_pool else variant
+    target = VarSlot(keyed_name(rng, singular_pool, target_idx), INT, "param")
+    op = "==" if cmp_op == 0 else ">"
+    if loop_kind == 0:
+        element = VarSlot(keyed_name(rng, ("v", "x", "entry", "current"), variant), INT)
+        loop: List = [
+            ForEach(
+                element,
+                Var(values),
+                [If(Bin(op, Var(element), Var(target)), [Incr(Var(counter))])],
+            )
+        ]
+    else:
+        index = VarSlot(keyed_name(rng, ("i", "i", "i", "index"), variant), INT)
+        loop = [
+            ForRange(
+                index,
+                Len(Var(values)),
+                [
+                    If(
+                        Bin(op, Index(Var(values), Var(index)), Var(target)),
+                        [Incr(Var(counter))],
+                    )
+                ],
+            )
+        ]
+    body = [Decl(counter, Lit(0, INT))] + loop + [Return(Var(counter))]
+    name = (("count",), ("count", "matches"), ("tally",), ("num", "greater"))[variant]
+    return Function(name, [values, target], body, INT, template="counter")
+
+
+def t_accumulator(rng: random.Random) -> Function:
+    """Sum the elements of a collection."""
+    loop_kind = rng.randrange(2)
+    seeded = rng.randrange(2)  # start from 0 or from first element count
+    variant = loop_kind * 2 + seeded
+    acc = VarSlot(keyed_name(rng, ("sum", "total", "acc", "result"), variant), INT)
+    values = VarSlot(keyed_name(rng, [p for p, _ in COLLECTION_PAIRS], variant, 1), LIST_INT, "param")
+    if loop_kind == 0:
+        element = VarSlot(keyed_name(rng, ("v", "x", "entry", "current"), variant, 1), INT)
+        loop: List = [ForEach(element, Var(values), [Aug(Var(acc), "+", Var(element))])]
+    else:
+        index = VarSlot(keyed_name(rng, ("i", "i", "index", "idx"), variant, 1), INT)
+        loop = [
+            ForRange(index, Len(Var(values)), [Aug(Var(acc), "+", Index(Var(values), Var(index)))])
+        ]
+    init = Lit(0, INT) if seeded == 0 else Lit(1, INT)
+    body = [Decl(acc, init)] + loop + [Return(Var(acc))]
+    name = (("sum",), ("sum", "values"), ("add", "all"), ("accumulate",))[variant]
+    return Function(name, [values], body, INT, template="accumulator")
+
+
+def t_index_search(rng: random.Random) -> Function:
+    """Linear search returning an index."""
+    early_return = rng.randrange(2)
+    cmp_op = rng.randrange(2)
+    variant = early_return * 2 + cmp_op
+    index = VarSlot(keyed_name(rng, ("i", "i", "index", "pos"), variant), INT)
+    values = VarSlot(keyed_name(rng, [p for p, _ in COLLECTION_PAIRS], variant, 2), LIST_INT, "param")
+    target = VarSlot(keyed_name(rng, ("target", "key", "needle", "wanted"), variant), INT, "param")
+    op = "==" if cmp_op == 0 else ">="
+    if early_return == 0:
+        body: List = [
+            ForRange(
+                index,
+                Len(Var(values)),
+                [If(Bin(op, Index(Var(values), Var(index)), Var(target)), [Return(Var(index))])],
+            ),
+            Return(Lit(-1, INT)),
+        ]
+    else:
+        found = VarSlot(keyed_name(rng, ("found", "result", "match", "hit"), variant), INT)
+        body = [
+            Decl(found, Lit(-1, INT)),
+            ForRange(
+                index,
+                Len(Var(values)),
+                [
+                    If(
+                        Bin(op, Index(Var(values), Var(index)), Var(target)),
+                        [Assign(Var(found), Var(index)), Break()],
+                    )
+                ],
+            ),
+            Return(Var(found)),
+        ]
+    name = (("find", "index"), ("index", "of"), ("locate",), ("search",))[variant]
+    return Function(name, [values, target], body, INT, template="index_search")
+
+
+def t_max_finder(rng: random.Random) -> Function:
+    """Find the maximum (or minimum) element."""
+    minimum = rng.randrange(2)
+    guarded = rng.randrange(2)
+    variant = minimum * 2 + guarded
+    pool = ("max", "best", "largest", "highest") if not minimum else ("min", "lowest", "smallest", "least")
+    best = VarSlot(keyed_name(rng, pool, variant), INT)
+    values = VarSlot(keyed_name(rng, [p for p, _ in COLLECTION_PAIRS], variant, 3), LIST_INT, "param")
+    element = VarSlot(keyed_name(rng, ("v", "x", "entry", "current"), variant, 2), INT)
+    op = ">" if not minimum else "<"
+    update = Assign(Var(best), Var(element))
+    inner = If(Bin(op, Var(element), Var(best)), [update])
+    body: List = [Decl(best, Lit(0, INT)), ForEach(element, Var(values), [inner])]
+    if guarded:
+        body.append(If(Bin("==", Len(Var(values)), Lit(0, INT)), [Return(Lit(0, INT))]))
+    body.append(Return(Var(best)))
+    verb = "find" if not guarded else "get"
+    noun = "max" if not minimum else "min"
+    name = (verb, noun)
+    return Function(name, [values], body, INT, template="max_finder")
+
+
+def t_string_builder(rng: random.Random) -> Function:
+    """Build a message by concatenation."""
+    looped = rng.randrange(2)
+    prefixed = rng.randrange(2)
+    variant = looped * 2 + prefixed
+    msg = VarSlot(keyed_name(rng, ("message", "msg", "text", "output"), variant), STRING)
+    name_param = VarSlot(keyed_name(rng, ("name", "title", "label", "subject"), variant), STRING, "param")
+    init = Lit("", STRING) if not prefixed else Lit("[", STRING)
+    body: List = [Decl(msg, init)]
+    if looped:
+        parts = VarSlot(keyed_name(rng, ("parts", "words", "lines", "chunks"), variant), LIST_STRING, "param")
+        piece = VarSlot(keyed_name(rng, ("part", "word", "line", "chunk"), variant), STRING)
+        body.append(ForEach(piece, Var(parts), [Assign(Var(msg), StrCat(Var(msg), Var(piece)))]))
+        params = [name_param, parts]
+    else:
+        body.append(Assign(Var(msg), StrCat(Var(msg), Var(name_param))))
+        body.append(Assign(Var(msg), StrCat(Var(msg), Lit(":", STRING))))
+        params = [name_param]
+    body.append(Return(Var(msg)))
+    name = (("build", "message"), ("format",), ("join", "parts"), ("render", "text"))[variant]
+    return Function(name, params, body, STRING, template="string_builder")
+
+
+def t_web_handler(rng: random.Random) -> Function:
+    """The Fig. 8 pattern: url/request/callback handler."""
+    method_get = rng.randrange(2)
+    with_send = rng.randrange(2)
+    variant = method_get * 2 + with_send
+    from .ir import custom_type
+
+    url = VarSlot(keyed_name(rng, ("url", "uri", "source", "endpoint"), variant), STRING, "param")
+    request = VarSlot(
+        keyed_name(rng, ("request", "req", "xhr", "client"), variant),
+        custom_type("Request"),
+        "param",
+    )
+    callback = VarSlot(
+        keyed_name(rng, ("callback", "handler", "cb", "listener"), variant),
+        custom_type("Handler"),
+        "param",
+    )
+    verb = Lit("GET" if method_get else "POST", STRING)
+    body: List = [
+        ExprStmt(CallFree("open2", [Var(request), verb, Var(url)], VOID)),
+    ]
+    if with_send:
+        body.append(ExprStmt(CallFree("send2", [Var(request), Var(callback)], VOID)))
+    else:
+        body.append(ExprStmt(CallFree("dispatch", [Var(request), Var(callback)], VOID)))
+    name = (("send", "request"), ("post", "data"), ("load",), ("get", "resource"))[variant]
+    return Function(name, [url, request, callback], body, VOID, template="web_handler")
+
+
+def t_guard_validate(rng: random.Random) -> Function:
+    """Null/empty guard then use."""
+    check_empty = rng.randrange(2)
+    throws = rng.randrange(2)
+    variant = check_empty * 2 + throws
+    value = VarSlot(keyed_name(rng, ("input", "value", "arg", "data"), variant), STRING, "param")
+    if check_empty:
+        cond = Bin("==", Len(Var(value)), Lit(0, INT))
+    else:
+        cond = Bin("==", Var(value), Lit(None, STRING))
+    if throws:
+        guard = If(cond, [Throw("invalid argument")])
+    else:
+        guard = If(cond, [Return(Lit(False, BOOL))])
+    body = [guard, ExprStmt(CallFree(rng.choice(WORK_FUNCTIONS), [Var(value)], VOID)), Return(Lit(True, BOOL))]
+    name = (("validate",), ("check", "input"), ("require",), ("ensure", "valid"))[variant]
+    return Function(name, [value], body, BOOL, template="guard_validate")
+
+
+def t_average(rng: random.Random) -> Function:
+    """Mean of a collection: accumulate then divide."""
+    loop_kind = rng.randrange(2)
+    variant = loop_kind * 2 + rng.randrange(2)
+    avg = VarSlot(keyed_name(rng, ("average", "avg", "mean", "ratio"), variant), DOUBLE)
+    total = VarSlot(keyed_name(rng, ("sum", "total", "acc", "result"), variant, 1), INT)
+    values = VarSlot(keyed_name(rng, [p for p, _ in COLLECTION_PAIRS], variant, 1), LIST_INT, "param")
+    element = VarSlot(keyed_name(rng, ("v", "x", "entry", "current"), variant, 3), INT)
+    body: List = [
+        Decl(total, Lit(0, INT)),
+        ForEach(element, Var(values), [Aug(Var(total), "+", Var(element))]),
+        Decl(avg, Bin("/", Var(total), Len(Var(values)))),
+        Return(Var(avg)),
+    ]
+    name = (("compute", "average"), ("mean",), ("avg", "of"), ("average",))[variant]
+    return Function(name, [values], body, DOUBLE, template="average")
+
+
+def t_filter_copy(rng: random.Random) -> Function:
+    """Copy matching elements into a fresh list."""
+    cmp_op = rng.randrange(2)
+    negated = rng.randrange(2)
+    variant = cmp_op * 2 + negated
+    result = VarSlot(keyed_name(rng, ("result", "filtered", "chosen", "selected"), variant), LIST_INT)
+    values = VarSlot(keyed_name(rng, [p for p, _ in COLLECTION_PAIRS], variant, 2), LIST_INT, "param")
+    limit = VarSlot(keyed_name(rng, ("limit", "threshold", "cutoff", "bound"), variant), INT, "param")
+    element = VarSlot(keyed_name(rng, ("v", "x", "entry", "current"), variant, 1), INT)
+    op = ">" if cmp_op == 0 else "<"
+    cond = Bin(op, Var(element), Var(limit))
+    if negated:
+        cond = Not(cond)
+    body = [
+        Decl(result, NewCollection(LIST_INT)),
+        ForEach(element, Var(values), [If(cond, [Append(Var(result), Var(element))])]),
+        Return(Var(result)),
+    ]
+    name = (("filter",), ("filter", "items"), ("select",), ("keep", "small"))[variant]
+    return Function(name, [values, limit], body, LIST_INT, template="filter_copy")
+
+
+def t_map_cache(rng: random.Random) -> Function:
+    """Memoising lookup into a map."""
+    put_on_miss = rng.randrange(2)
+    variant = put_on_miss * 2 + rng.randrange(2)
+    cache = VarSlot(keyed_name(rng, ("cache", "map", "lookup", "store"), variant), MAP_STR_INT, "param")
+    key = VarSlot(keyed_name(rng, ("key", "name", "id", "token"), variant), STRING, "param")
+    if put_on_miss:
+        body: List = [
+            If(
+                Not(MapHas(Var(cache), Var(key))),
+                [MapPut(Var(cache), Var(key), CallFree("compute", [Var(key)], INT))],
+            ),
+            Return(MapGet(Var(cache), Var(key))),
+        ]
+    else:
+        body = [
+            If(MapHas(Var(cache), Var(key)), [Return(MapGet(Var(cache), Var(key)))]),
+            Return(Lit(0, INT)),
+        ]
+    name = (("lookup",), ("get", "cached"), ("memoize",), ("fetch", "value"))[variant]
+    return Function(name, [cache, key], body, INT, template="map_cache")
+
+
+#: Simple names of custom resource classes.  Every project qualifies them
+#: with its own package, so the full types collide on the simple name.
+RESOURCE_CLASSES = ("Connection", "Client", "Logger", "Session")
+
+
+def t_resource_usage(rng: random.Random) -> Function:
+    """Open/use/close a custom-typed resource (full-type ambiguity)."""
+    from .ir import custom_type
+
+    class_idx = rng.randrange(len(RESOURCE_CLASSES))
+    simple = RESOURCE_CLASSES[class_idx]
+    guarded = rng.randrange(2)
+    variant = class_idx  # names follow the resource class
+    pools = {
+        "Connection": ("conn", "connection", "link", "channel"),
+        "Client": ("client", "api", "service", "remote"),
+        "Logger": ("logger", "log2", "journal", "sink"),
+        "Session": ("session", "ctx", "handle", "state"),
+    }
+    resource = VarSlot(
+        keyed_name(rng, pools[simple], guarded), custom_type(simple)
+    )
+    open_call = CallFree(f"open{simple}", [], custom_type(simple))
+    body: List = [Decl(resource, open_call)]
+    if guarded:
+        body.append(
+            If(Bin("==", Var(resource), Lit(None, OBJECT)), [Return()])
+        )
+    body.append(ExprStmt(CallFree("useResource", [Var(resource)], VOID)))
+    body.append(ExprStmt(CallFree("closeResource", [Var(resource)], VOID)))
+    name = (("open", simple.lower()), ("acquire",), ("connect",), ("start", "session"))[
+        variant % 4
+    ]
+    return Function(name, [], body, VOID, template="resource_usage")
+
+
+def t_getter_setter(rng: random.Random) -> Function:
+    """Getter or setter over a field-like parameter pair."""
+    is_setter = rng.randrange(2)
+    field_idx = rng.randrange(4)
+    from .ir import custom_type
+
+    field = ("name", "size", "owner", "status")[field_idx]
+    field_type = (STRING, INT, STRING, STRING)[field_idx]
+    holder_class = ("Entity", "Model", "Record", "Bean")[field_idx]
+    holder = VarSlot(
+        keyed_name(rng, ("entity", "model", "record", "bean"), field_idx),
+        custom_type(holder_class),
+        "param",
+    )
+    if is_setter:
+        value = VarSlot(keyed_name(rng, (field, field, "value", "val"), field_idx), field_type, "param")
+        body: List = [ExprStmt(CallFree("setField", [Var(holder), Lit(field, STRING), Var(value)], VOID))]
+        name: Tuple[str, ...] = ("set", field)
+        params = [holder, value]
+        ret = VOID
+    else:
+        body = [Return(CallFree("getField", [Var(holder), Lit(field, STRING)], field_type))]
+        name = ("get", field)
+        params = [holder]
+        ret = field_type
+    return Function(name, params, body, ret, template="getter_setter")
+
+
+#: (name, builder, sampling weight)
+TEMPLATES: Tuple[Tuple[str, Callable[[random.Random], Function], float], ...] = (
+    ("flag_loop", t_flag_loop, 1.2),
+    ("straightline_flag", t_straightline_flag, 0.8),
+    ("counter", t_counter, 1.2),
+    ("accumulator", t_accumulator, 1.0),
+    ("index_search", t_index_search, 1.0),
+    ("max_finder", t_max_finder, 1.0),
+    ("string_builder", t_string_builder, 1.0),
+    ("web_handler", t_web_handler, 1.6),
+    ("guard_validate", t_guard_validate, 0.8),
+    ("average", t_average, 0.8),
+    ("filter_copy", t_filter_copy, 1.0),
+    ("map_cache", t_map_cache, 0.8),
+    ("getter_setter", t_getter_setter, 1.0),
+    ("resource_usage", t_resource_usage, 2.2),
+)
+
+
+def sample_function(rng: random.Random) -> Function:
+    """Sample one function from the weighted template registry."""
+    names = [name for name, _, _ in TEMPLATES]
+    weights = [weight for _, _, weight in TEMPLATES]
+    choice = rng.choices(range(len(TEMPLATES)), weights=weights, k=1)[0]
+    return TEMPLATES[choice][1](rng)
+
+
+def add_distractors(fn: Function, rng: random.Random, domain: str) -> None:
+    """Insert domain-flavoured no-op calls (noise, not signal)."""
+    calls = DOMAINS.get(domain, DOMAINS["web"])
+    n = rng.randrange(0, 3)
+    for _ in range(n):
+        stmt = ExprStmt(CallFree(rng.choice(calls), [], VOID))
+        pos = rng.randrange(0, len(fn.body) + 1)
+        fn.body.insert(pos, stmt)

@@ -1,0 +1,19 @@
+"""Evaluation: metrics, experiment harness, report formatting."""
+
+from .metrics import (
+    exact_match,
+    normalize_name,
+    subtoken_f1,
+    subtokens,
+    AccuracyCounter,
+    SubtokenF1Counter,
+)
+
+__all__ = [
+    "exact_match",
+    "normalize_name",
+    "subtoken_f1",
+    "subtokens",
+    "AccuracyCounter",
+    "SubtokenF1Counter",
+]

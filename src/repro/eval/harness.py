@@ -1,0 +1,379 @@
+"""Experiment harness: the machinery behind every table and figure.
+
+Orchestrates corpus generation, parsing, graph building, training and
+evaluation for each (language, task, representation, learner) cell, plus
+the parameter sweeps of Figs. 10-12.  All entry points are deterministic
+under their seeds, so the benchmark suite reproduces identical numbers
+across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.ast_model import Ast
+from ..core.extraction import ExtractionConfig, PathExtractor
+from ..corpus import deduplicate, generate_corpus, split_corpus
+from ..corpus.generator import CorpusConfig, CorpusFile
+from ..corpus.splits import CorpusSplit
+from ..lang.base import parse_source
+from ..learning.crf import CrfModel, CrfTrainer, TrainingConfig
+from ..learning.crf.graph import CrfGraph
+from ..learning.crf.inference import map_inference
+from ..learning.word2vec import ContextPredictor, SgnsConfig, train_sgns
+from ..tasks.method_naming import build_method_graph
+from ..tasks.type_prediction import build_type_graph
+from ..tasks.variable_naming import build_crf_graph, element_contexts
+from .metrics import AccuracyCounter, SubtokenF1Counter
+
+GraphBuilder = Callable[[CorpusFile, Ast], CrfGraph]
+ContextProvider = Callable[[CorpusFile, Ast], Dict[str, Tuple[str, List[str]]]]
+
+
+@dataclass
+class ExperimentResult:
+    """One cell of a results table."""
+
+    name: str
+    accuracy: float  # percent
+    n: int
+    f1: float = 0.0
+    precision: float = 0.0
+    recall: float = 0.0
+    extract_seconds: float = 0.0
+    train_seconds: float = 0.0
+    predict_seconds: float = 0.0
+    parameters: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return f"{self.name}: {self.accuracy:.1f}% (n={self.n})"
+
+
+@dataclass
+class PreparedData:
+    """A generated, deduplicated, split, parsed corpus for one language."""
+
+    language: str
+    split: CorpusSplit
+    asts: Dict[str, Ast]
+    removed_duplicates: int = 0
+
+    def pairs(self, files: Sequence[CorpusFile]) -> List[Tuple[CorpusFile, Ast]]:
+        return [(f, self.asts[f.path]) for f in files]
+
+    @property
+    def train(self) -> List[Tuple[CorpusFile, Ast]]:
+        return self.pairs(self.split.train)
+
+    @property
+    def validation(self) -> List[Tuple[CorpusFile, Ast]]:
+        return self.pairs(self.split.validation)
+
+    @property
+    def test(self) -> List[Tuple[CorpusFile, Ast]]:
+        return self.pairs(self.split.test)
+
+
+def prepare_language_data(
+    language: str,
+    corpus_config: Optional[CorpusConfig] = None,
+    split_seed: int = 23,
+) -> PreparedData:
+    """Generate, dedup, split and parse a corpus for one language."""
+    config = corpus_config or CorpusConfig(language=language)
+    if config.language != language:
+        config = CorpusConfig(**{**config.__dict__, "language": language})
+    files = generate_corpus(config)
+    kept, removed = deduplicate(files)
+    split = split_corpus(kept, seed=split_seed)
+    asts = {f.path: parse_source(language, f.source) for f in kept}
+    return PreparedData(language=language, split=split, asts=asts, removed_duplicates=removed)
+
+
+# ----------------------------------------------------------------------
+# CRF evaluation
+# ----------------------------------------------------------------------
+
+
+def evaluate_crf(
+    data: PreparedData,
+    train_builder: GraphBuilder,
+    test_builder: Optional[GraphBuilder] = None,
+    training_config: Optional[TrainingConfig] = None,
+    name: str = "crf",
+    with_f1: bool = False,
+    eval_files: Optional[Sequence[CorpusFile]] = None,
+) -> ExperimentResult:
+    """Train a CRF with one graph builder and evaluate exact match."""
+    test_builder = test_builder or train_builder
+
+    t0 = time.perf_counter()
+    train_graphs = [train_builder(f, ast) for f, ast in data.train]
+    eval_pairs = data.pairs(eval_files) if eval_files is not None else data.test
+    test_graphs = [test_builder(f, ast) for f, ast in eval_pairs]
+    extract_seconds = time.perf_counter() - t0
+
+    trainer = CrfTrainer(training_config or TrainingConfig())
+    model, stats = trainer.train(train_graphs)
+
+    t0 = time.perf_counter()
+    accuracy = AccuracyCounter()
+    f1 = SubtokenF1Counter()
+    for graph in test_graphs:
+        assignment = map_inference(model, graph)
+        for i, node in enumerate(graph.unknowns):
+            accuracy.add(assignment[i], node.gold)
+            if with_f1:
+                f1.add(assignment[i], node.gold)
+    predict_seconds = time.perf_counter() - t0
+
+    return ExperimentResult(
+        name=name,
+        accuracy=accuracy.as_percent(),
+        n=accuracy.total,
+        f1=100.0 * f1.f1 if with_f1 else 0.0,
+        precision=100.0 * f1.precision if with_f1 else 0.0,
+        recall=100.0 * f1.recall if with_f1 else 0.0,
+        extract_seconds=extract_seconds,
+        train_seconds=stats.train_seconds,
+        predict_seconds=predict_seconds,
+        parameters=stats.parameters,
+    )
+
+
+def path_graph_builder(
+    max_length: int = 7,
+    max_width: int = 3,
+    abstraction: str = "full",
+    downsample_p: float = 1.0,
+    seed: int = 17,
+) -> GraphBuilder:
+    """The standard AST-paths graph builder for variable naming."""
+    extractor = PathExtractor(
+        ExtractionConfig(
+            max_length=max_length,
+            max_width=max_width,
+            abstraction=abstraction,
+            downsample_p=downsample_p,
+            seed=seed,
+        )
+    )
+
+    def build(file: CorpusFile, ast: Ast) -> CrfGraph:
+        return build_crf_graph(ast, extractor, name=file.path)
+
+    return build
+
+
+def method_graph_builder(
+    max_length: int = 12,
+    max_width: int = 4,
+    abstraction: str = "full",
+    use_external: bool = True,
+) -> GraphBuilder:
+    """Graph builder for the method-naming task."""
+    extractor = PathExtractor(
+        ExtractionConfig(
+            max_length=max_length, max_width=max_width, abstraction=abstraction
+        )
+    )
+
+    def build(file: CorpusFile, ast: Ast) -> CrfGraph:
+        return build_method_graph(ast, extractor, name=file.path, use_external=use_external)
+
+    return build
+
+
+def type_graph_builder(
+    max_length: int = 4, max_width: int = 1, abstraction: str = "full"
+) -> GraphBuilder:
+    """Graph builder for the full-type task (Java)."""
+    extractor = PathExtractor(
+        ExtractionConfig(
+            max_length=max_length, max_width=max_width, abstraction=abstraction
+        )
+    )
+
+    def build(file: CorpusFile, ast: Ast) -> CrfGraph:
+        return build_type_graph(ast, extractor, name=file.path)
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# word2vec evaluation
+# ----------------------------------------------------------------------
+
+
+def evaluate_w2v(
+    data: PreparedData,
+    provider: ContextProvider,
+    sgns_config: Optional[SgnsConfig] = None,
+    name: str = "word2vec",
+) -> ExperimentResult:
+    """Train SGNS on (name, context) pairs and evaluate Eq. (4)."""
+    t0 = time.perf_counter()
+    pairs: List[Tuple[str, str]] = []
+    for file, ast in data.train:
+        for _binding, (gold, tokens) in provider(file, ast).items():
+            for token in tokens:
+                pairs.append((gold, token))
+    extract_seconds = time.perf_counter() - t0
+
+    model, stats = train_sgns(pairs, sgns_config or SgnsConfig())
+    predictor = ContextPredictor(model)
+
+    t0 = time.perf_counter()
+    accuracy = AccuracyCounter()
+    for file, ast in data.test:
+        for _binding, (gold, tokens) in provider(file, ast).items():
+            accuracy.add(predictor.predict(tokens), gold)
+    predict_seconds = time.perf_counter() - t0
+
+    return ExperimentResult(
+        name=name,
+        accuracy=accuracy.as_percent(),
+        n=accuracy.total,
+        extract_seconds=extract_seconds,
+        train_seconds=stats.train_seconds,
+        predict_seconds=predict_seconds,
+        parameters=len(model.words) * model.dim + len(model.contexts) * model.dim,
+        extra={"pairs": float(stats.pairs)},
+    )
+
+
+def path_context_provider(
+    max_length: int = 7, max_width: int = 3
+) -> ContextProvider:
+    """The AST-paths context provider for word2vec."""
+    extractor = PathExtractor(
+        ExtractionConfig(max_length=max_length, max_width=max_width, abstraction="full")
+    )
+
+    def provide(file: CorpusFile, ast: Ast) -> Dict[str, Tuple[str, List[str]]]:
+        return element_contexts(ast, extractor)
+
+    return provide
+
+
+# ----------------------------------------------------------------------
+# Parameter sweeps (Figs. 10-12)
+# ----------------------------------------------------------------------
+
+
+def grid_search(
+    data: PreparedData,
+    lengths: Iterable[int] = (3, 4, 5, 6, 7),
+    widths: Iterable[int] = (1, 2, 3),
+    training_config: Optional[TrainingConfig] = None,
+    on_validation: bool = True,
+) -> List[ExperimentResult]:
+    """Accuracy for each (max_length, max_width) combination (Fig. 10)."""
+    results = []
+    eval_files = data.split.validation if on_validation else data.split.test
+    for width in widths:
+        for length in lengths:
+            result = evaluate_crf(
+                data,
+                path_graph_builder(max_length=length, max_width=width),
+                training_config=training_config,
+                name=f"length={length},width={width}",
+                eval_files=eval_files,
+            )
+            result.extra["max_length"] = float(length)
+            result.extra["max_width"] = float(width)
+            results.append(result)
+    return results
+
+
+def downsampling_sweep(
+    data: PreparedData,
+    keep_probabilities: Iterable[float] = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+    max_length: int = 7,
+    max_width: int = 3,
+    training_config: Optional[TrainingConfig] = None,
+) -> List[ExperimentResult]:
+    """Accuracy and training time vs keep-probability p (Fig. 11).
+
+    Downsampling applies to *training* extraction only; evaluation always
+    uses the full path set, exactly as in Sec. 5.5.
+    """
+    results = []
+    full_builder = path_graph_builder(max_length=max_length, max_width=max_width)
+    for p in keep_probabilities:
+        train_builder = path_graph_builder(
+            max_length=max_length, max_width=max_width, downsample_p=p
+        )
+        result = evaluate_crf(
+            data,
+            train_builder,
+            test_builder=full_builder,
+            training_config=training_config,
+            name=f"p={p:.1f}",
+        )
+        result.extra["keep_probability"] = p
+        results.append(result)
+    return results
+
+
+def abstraction_sweep(
+    data: PreparedData,
+    abstractions: Iterable[str] = (
+        "no-path",
+        "top",
+        "first-last",
+        "first-top-last",
+        "forget-order",
+        "no-arrows",
+        "full",
+    ),
+    max_length: int = 7,
+    max_width: int = 3,
+    training_config: Optional[TrainingConfig] = None,
+) -> List[ExperimentResult]:
+    """Accuracy vs training time per abstraction level (Fig. 12)."""
+    results = []
+    for abstraction in abstractions:
+        result = evaluate_crf(
+            data,
+            path_graph_builder(
+                max_length=max_length, max_width=max_width, abstraction=abstraction
+            ),
+            training_config=training_config,
+            name=abstraction,
+        )
+        result.extra["abstraction_index"] = float(len(results))
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Non-CRF baselines
+# ----------------------------------------------------------------------
+
+
+def evaluate_prediction_map(
+    data: PreparedData,
+    predict_file: Callable[[CorpusFile, Ast], Dict[str, Optional[str]]],
+    gold_map: Callable[[Ast], Dict[str, str]],
+    name: str,
+) -> ExperimentResult:
+    """Evaluate a per-file {element -> prediction} function (rule-based,
+    naive type, ...) against a per-file {element -> gold} map."""
+    t0 = time.perf_counter()
+    accuracy = AccuracyCounter()
+    for file, ast in data.test:
+        predictions = predict_file(file, ast)
+        golds = gold_map(ast)
+        for key, gold in golds.items():
+            accuracy.add(predictions.get(key), gold)
+    predict_seconds = time.perf_counter() - t0
+    return ExperimentResult(
+        name=name,
+        accuracy=accuracy.as_percent(),
+        n=accuracy.total,
+        predict_seconds=predict_seconds,
+    )

@@ -1,0 +1,11 @@
+"""Language frontends: source text -> generic AST (Sec. 5.1)."""
+
+from .base import LanguageFrontend, ParseError, get_frontend, parse_source, supported_languages
+
+__all__ = [
+    "LanguageFrontend",
+    "ParseError",
+    "get_frontend",
+    "parse_source",
+    "supported_languages",
+]

@@ -1,0 +1,87 @@
+"""Language frontend protocol and registry.
+
+PIGEON is cross-language by construction (Sec. 5.1): separate modules
+parse each language into the shared :class:`repro.core.ast_model.Ast`,
+and everything downstream (path extraction, learning, evaluation) is
+language independent.
+
+A frontend must:
+
+* parse source text into an :class:`~repro.core.ast_model.Ast` whose node
+  kinds mirror the parser the paper used for that language (UglifyJS,
+  JavaParser, CPython ``ast``, Roslyn);
+* attach ``meta["binding"]`` to every identifier terminal that is a
+  *renameable program element* (local variables and parameters), where the
+  binding is an opaque key grouping all occurrences of the same element;
+* attach ``meta["id_kind"]`` in ``{"local", "param", "global", "property",
+  "function", "method", "field"}`` so tasks can select their targets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Protocol
+
+from ..core.ast_model import Ast
+
+
+class ParseError(ValueError):
+    """Raised when source text is outside the supported language subset."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LanguageFrontend(Protocol):
+    """Structural interface of a language module."""
+
+    name: str
+
+    def parse(self, source: str) -> Ast:  # pragma: no cover - protocol
+        ...
+
+
+_REGISTRY: Dict[str, Callable[[], LanguageFrontend]] = {}
+
+
+def register_language(name: str, factory: Callable[[], LanguageFrontend]) -> None:
+    """Register a frontend factory under a language name."""
+    _REGISTRY[name] = factory
+
+
+def get_frontend(name: str) -> LanguageFrontend:
+    """Instantiate the frontend for ``name`` (e.g. ``"javascript"``)."""
+    _ensure_builtin_registered()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown language {name!r}; known: {known}") from None
+    return factory()
+
+
+def supported_languages() -> tuple:
+    _ensure_builtin_registered()
+    return tuple(sorted(_REGISTRY))
+
+
+def parse_source(language: str, source: str) -> Ast:
+    """Parse ``source`` in ``language`` into a generic AST."""
+    return get_frontend(language).parse(source)
+
+
+def _ensure_builtin_registered() -> None:
+    """Import the built-in frontends on first use (avoids import cycles)."""
+    if _REGISTRY:
+        return
+    from .javascript import JavaScriptFrontend
+    from .java import JavaFrontend
+    from .python_lang import PythonFrontend
+    from .csharp import CSharpFrontend
+
+    register_language("javascript", JavaScriptFrontend)
+    register_language("java", JavaFrontend)
+    register_language("python", PythonFrontend)
+    register_language("csharp", CSharpFrontend)

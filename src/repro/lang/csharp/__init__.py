@@ -1,0 +1,5 @@
+"""C# frontend (Roslyn-style ASTs)."""
+
+from .parser import CSharpFrontend, parse_csharp
+
+__all__ = ["CSharpFrontend", "parse_csharp"]

@@ -1,0 +1,6 @@
+"""Java frontend (JavaParser-style ASTs) with a local type oracle."""
+
+from .parser import JavaFrontend, parse_java
+from .types import infer_types, resolve_full_type
+
+__all__ = ["JavaFrontend", "parse_java", "infer_types", "resolve_full_type"]

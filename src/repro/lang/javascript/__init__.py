@@ -1,0 +1,5 @@
+"""JavaScript frontend (UglifyJS-style ASTs)."""
+
+from .parser import JavaScriptFrontend, parse_js
+
+__all__ = ["JavaScriptFrontend", "parse_js"]

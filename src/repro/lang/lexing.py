@@ -1,0 +1,327 @@
+"""Shared hand-written lexer infrastructure for the C-family frontends.
+
+The JavaScript, Java and C# frontends all tokenise with :class:`Lexer`,
+parameterised by a keyword set and an operator table.  Python source is
+handled by the stdlib parser and does not use this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence
+
+from .base import ParseError
+
+# Token categories.
+IDENT = "ident"
+KEYWORD = "keyword"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+OP = "op"
+EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind == OP and self.text in texts
+
+    def is_keyword(self, *texts: str) -> bool:
+        return self.kind == KEYWORD and self.text in texts
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+# Multi-character operators, longest first so maximal munch works.  This is
+# the union over the three languages; each language simply never emits some
+# of them.
+_OPERATORS: Sequence[str] = (
+    ">>>=",
+    "...",
+    ">>>",
+    "===",
+    "!==",
+    "<<=",
+    ">>=",
+    "=>",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "??",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "::",
+    "->",
+    "?.",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "@",
+)
+
+
+class Lexer:
+    """A maximal-munch lexer for C-family syntax.
+
+    Supports ``//`` and ``/* */`` comments, single/double-quoted strings
+    with escapes, decimal/hex/float numbers, identifiers (with ``$`` and
+    ``_``), and the shared operator table.
+    """
+
+    def __init__(self, source: str, keywords: FrozenSet[str], language: str) -> None:
+        self.source = source
+        self.keywords = keywords
+        self.language = language
+
+    def tokenize(self) -> List[Token]:
+        src = self.source
+        n = len(src)
+        i = 0
+        line = 1
+        col = 1
+        tokens: List[Token] = []
+
+        def error(message: str) -> ParseError:
+            return ParseError(f"[{self.language}] {message}", line, col)
+
+        while i < n:
+            ch = src[i]
+            # -- whitespace ------------------------------------------------
+            if ch in " \t\r":
+                i += 1
+                col += 1
+                continue
+            if ch == "\n":
+                i += 1
+                line += 1
+                col = 1
+                continue
+            # -- comments --------------------------------------------------
+            if ch == "/" and i + 1 < n and src[i + 1] == "/":
+                while i < n and src[i] != "\n":
+                    i += 1
+                continue
+            if ch == "/" and i + 1 < n and src[i + 1] == "*":
+                i += 2
+                col += 2
+                while i + 1 < n and not (src[i] == "*" and src[i + 1] == "/"):
+                    if src[i] == "\n":
+                        line += 1
+                        col = 1
+                    else:
+                        col += 1
+                    i += 1
+                if i + 1 >= n:
+                    raise error("unterminated block comment")
+                i += 2
+                col += 2
+                continue
+            # -- strings ---------------------------------------------------
+            if ch in "\"'":
+                quote = ch
+                start_line, start_col = line, col
+                i += 1
+                col += 1
+                buf: List[str] = []
+                while i < n and src[i] != quote:
+                    c = src[i]
+                    if c == "\n":
+                        raise error("unterminated string literal")
+                    if c == "\\" and i + 1 < n:
+                        buf.append(src[i : i + 2])
+                        i += 2
+                        col += 2
+                        continue
+                    buf.append(c)
+                    i += 1
+                    col += 1
+                if i >= n:
+                    raise error("unterminated string literal")
+                i += 1
+                col += 1
+                kind = CHAR if quote == "'" and self.language in ("java", "csharp") else STRING
+                tokens.append(Token(kind, "".join(buf), start_line, start_col))
+                continue
+            # -- numbers ---------------------------------------------------
+            if ch.isdigit() or (ch == "." and i + 1 < n and src[i + 1].isdigit()):
+                start = i
+                start_line, start_col = line, col
+                if ch == "0" and i + 1 < n and src[i + 1] in "xX":
+                    i += 2
+                    while i < n and (src[i].isdigit() or src[i] in "abcdefABCDEF"):
+                        i += 1
+                else:
+                    seen_dot = False
+                    while i < n and (src[i].isdigit() or (src[i] == "." and not seen_dot)):
+                        if src[i] == ".":
+                            # Don't consume '.' if it starts a method call
+                            # like ``1..toString`` or a range; one dot max.
+                            if i + 1 < n and not src[i + 1].isdigit():
+                                break
+                            seen_dot = True
+                        i += 1
+                    # Exponent part.
+                    if i < n and src[i] in "eE":
+                        j = i + 1
+                        if j < n and src[j] in "+-":
+                            j += 1
+                        if j < n and src[j].isdigit():
+                            i = j
+                            while i < n and src[i].isdigit():
+                                i += 1
+                # Numeric suffixes (Java/C#: L, f, d, m; JS has none).
+                while i < n and src[i] in "lLfFdDmM":
+                    i += 1
+                text = src[start:i]
+                col += i - start
+                tokens.append(Token(NUMBER, text, start_line, start_col))
+                continue
+            # -- identifiers / keywords -------------------------------------
+            if ch.isalpha() or ch in "_$":
+                start = i
+                start_line, start_col = line, col
+                while i < n and (src[i].isalnum() or src[i] in "_$"):
+                    i += 1
+                text = src[start:i]
+                col += i - start
+                kind = KEYWORD if text in self.keywords else IDENT
+                tokens.append(Token(kind, text, start_line, start_col))
+                continue
+            # -- operators ---------------------------------------------------
+            matched = False
+            for op in _OPERATORS:
+                if src.startswith(op, i):
+                    tokens.append(Token(OP, op, line, col))
+                    i += len(op)
+                    col += len(op)
+                    matched = True
+                    break
+            if matched:
+                continue
+            raise error(f"unexpected character {ch!r}")
+
+        tokens.append(Token(EOF, "", line, col))
+        return tokens
+
+
+def expect_close_angle(ts: "TokenStream") -> None:
+    """Consume one ``>`` closing a generic-argument list.
+
+    ``Map<String, List<Integer>>`` lexes its tail as one ``>>`` token;
+    type parsers call this to split it into two closing angles, the same
+    trick javac and Roslyn use.
+    """
+    tok = ts.current
+    if tok.is_op(">"):
+        ts.advance()
+        return
+    if tok.is_op(">>"):
+        ts.tokens[ts.pos] = Token(OP, ">", tok.line, tok.column + 1)
+        return
+    if tok.is_op(">>>"):
+        ts.tokens[ts.pos] = Token(OP, ">>", tok.line, tok.column + 1)
+        return
+    raise ts.error(f"expected '>', found {tok}")
+
+
+class TokenStream:
+    """Cursor over a token list with the usual parser conveniences."""
+
+    def __init__(self, tokens: List[Token], language: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.language = language
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def at_end(self) -> bool:
+        return self.current.kind == EOF
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def match_op(self, *texts: str) -> bool:
+        if self.current.is_op(*texts):
+            self.advance()
+            return True
+        return False
+
+    def match_keyword(self, *texts: str) -> bool:
+        if self.current.is_keyword(*texts):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, text: str) -> Token:
+        tok = self.current
+        if not tok.is_op(text):
+            raise self.error(f"expected {text!r}, found {tok}")
+        return self.advance()
+
+    def expect_keyword(self, text: str) -> Token:
+        tok = self.current
+        if not tok.is_keyword(text):
+            raise self.error(f"expected keyword {text!r}, found {tok}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.current
+        if tok.kind != IDENT:
+            raise self.error(f"expected identifier, found {tok}")
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(f"[{self.language}] {message}", tok.line, tok.column)

@@ -1,0 +1,390 @@
+"""Source printers: generic AST -> source text, per language.
+
+The inverse of the frontends, over the node-kind vocabulary each frontend
+produces.  Printers power the deobfuscation workflow of the paper's
+Figs. 7-9: parse a program with stripped names, predict names with the
+CRF, substitute them on the tree, and print the renamed program.
+
+Round-tripping (parse . print . parse) preserves tree structure; the
+test suite checks this property over whole generated corpora.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.ast_model import Ast, Node
+
+
+class PrintError(ValueError):
+    """Raised when a tree contains a node the printer does not know."""
+
+
+# ======================================================================
+# JavaScript
+# ======================================================================
+
+_JS_STATEMENTS = {
+    "Var", "If", "While", "Do", "For", "ForIn", "Return", "Break", "Continue",
+    "Throw", "Try", "Defun", "Block", "EmptyStatement",
+}
+
+
+def _js_expr(node: Node) -> str:
+    kind = node.kind
+    if kind in ("SymbolRef", "SymbolVar", "SymbolFunarg", "SymbolDefun",
+                "SymbolLambda", "SymbolCatch", "Undefined", "This"):
+        return node.value or ""
+    if kind == "Number":
+        return node.value or "0"
+    if kind == "String":
+        return '"' + (node.value or "") + '"'
+    if kind in ("True", "False", "Null"):
+        return node.value or kind.lower()
+    if kind.startswith("Assign"):
+        op = kind[len("Assign"):]
+        return f"{_js_expr(node.children[0])} {op} {_js_expr(node.children[1])}"
+    if kind.startswith("Binary"):
+        op = kind[len("Binary"):]
+        return f"({_js_expr(node.children[0])} {op} {_js_expr(node.children[1])})"
+    if kind.startswith("UnaryPrefix"):
+        op = kind[len("UnaryPrefix"):]
+        spacer = " " if op.isalpha() else ""
+        return f"{op}{spacer}{_js_expr(node.children[0])}"
+    if kind.startswith("UnaryPostfix"):
+        op = kind[len("UnaryPostfix"):]
+        return f"{_js_expr(node.children[0])}{op}"
+    if kind == "Call":
+        callee = _js_expr(node.children[0])
+        args = ", ".join(_js_expr(c) for c in node.children[1:])
+        return f"{callee}({args})"
+    if kind == "New":
+        callee = _js_expr(node.children[0])
+        args = ", ".join(_js_expr(c) for c in node.children[1:])
+        return f"new {callee}({args})"
+    if kind == "Dot":
+        return f"{_js_expr(node.children[0])}.{node.children[1].value}"
+    if kind == "Sub":
+        return f"{_js_expr(node.children[0])}[{_js_expr(node.children[1])}]"
+    if kind == "Conditional":
+        c, t, e = node.children
+        return f"({_js_expr(c)} ? {_js_expr(t)} : {_js_expr(e)})"
+    if kind == "Seq":
+        return ", ".join(_js_expr(c) for c in node.children)
+    if kind == "Array":
+        return "[" + ", ".join(_js_expr(c) for c in node.children) + "]"
+    if kind == "Object":
+        parts = [
+            f"{kv.children[0].value}: {_js_expr(kv.children[1])}"
+            for kv in node.children
+        ]
+        return "{ " + ", ".join(parts) + " }"
+    if kind == "Function":
+        return _js_function(node, declaration=False, depth=0).strip()
+    raise PrintError(f"unknown JavaScript expression kind {kind!r}")
+
+
+def _js_function(node: Node, declaration: bool, depth: int) -> str:
+    pad = "  " * depth
+    idx = 0
+    name = ""
+    if node.children and node.children[0].kind in ("SymbolDefun", "SymbolLambda"):
+        name = node.children[0].value or ""
+        idx = 1
+    params: List[str] = []
+    while idx < len(node.children) and node.children[idx].kind == "SymbolFunarg":
+        params.append(node.children[idx].value or "")
+        idx += 1
+    head = f"{pad}function {name}({', '.join(params)}) {{"
+    body = [_js_stmt(child, depth + 1) for child in node.children[idx:]]
+    return "\n".join([head] + body + [f"{pad}}}"])
+
+
+def _js_body(children: List[Node], depth: int) -> List[str]:
+    return [_js_stmt(child, depth) for child in children]
+
+
+def _js_stmt(node: Node, depth: int) -> str:
+    pad = "  " * depth
+    kind = node.kind
+    if kind == "Defun":
+        return _js_function(node, declaration=True, depth=depth)
+    if kind == "Var":
+        defs = []
+        for vardef in node.children:
+            name = vardef.children[0].value
+            if len(vardef.children) > 1:
+                defs.append(f"{name} = {_js_expr(vardef.children[1])}")
+            else:
+                defs.append(str(name))
+        return f"{pad}var {', '.join(defs)};"
+    if kind == "If":
+        cond = _js_expr(node.children[0])
+        rest = node.children[1:]
+        else_node = rest[-1] if rest and rest[-1].kind == "Else" else None
+        body = rest[:-1] if else_node is not None else rest
+        lines = [f"{pad}if ({cond}) {{"] + _js_body(list(body), depth + 1)
+        if else_node is not None:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_js_body(else_node.children, depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if kind == "While":
+        cond = _js_expr(node.children[0])
+        lines = [f"{pad}while ({cond}) {{"]
+        lines.extend(_js_body(node.children[1:], depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if kind == "Do":
+        lines = [f"{pad}do {{"]
+        lines.extend(_js_body(node.children[:-1], depth + 1))
+        lines.append(f"{pad}}} while ({_js_expr(node.children[-1])});")
+        return "\n".join(lines)
+    if kind == "For":
+        # Children: optional init, optional cond, optional step, body...
+        children = list(node.children)
+        init = cond = step = ""
+        body_start = 0
+        if children and children[0].kind == "Var":
+            init = _js_stmt(children[0], 0).strip().rstrip(";")
+            body_start = 1
+        elif children and children[0].kind not in _JS_STATEMENTS:
+            # Heuristic: a leading expression is the init clause.
+            init = _js_expr(children[0])
+            body_start = 1
+        if body_start < len(children) and children[body_start].kind not in _JS_STATEMENTS:
+            cond = _js_expr(children[body_start])
+            body_start += 1
+        if body_start < len(children) and children[body_start].kind not in _JS_STATEMENTS:
+            step = _js_expr(children[body_start])
+            body_start += 1
+        lines = [f"{pad}for ({init}; {cond}; {step}) {{"]
+        lines.extend(_js_body(children[body_start:], depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if kind == "ForIn":
+        var = node.children[0]
+        var_text = f"var {var.value}" if var.kind == "SymbolVar" else _js_expr(var)
+        lines = [f"{pad}for ({var_text} of {_js_expr(node.children[1])}) {{"]
+        lines.extend(_js_body(node.children[2:], depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if kind == "Return":
+        if node.children:
+            return f"{pad}return {_js_expr(node.children[0])};"
+        return f"{pad}return;"
+    if kind == "Break":
+        return f"{pad}break;"
+    if kind == "Continue":
+        return f"{pad}continue;"
+    if kind == "Throw":
+        return f"{pad}throw {_js_expr(node.children[0])};"
+    if kind == "Try":
+        lines = [f"{pad}try {{"]
+        for part in node.children:
+            if part.kind == "TryBody":
+                lines.extend(_js_body(part.children, depth + 1))
+            elif part.kind == "Catch":
+                catch_children = list(part.children)
+                name = ""
+                if catch_children and catch_children[0].kind == "SymbolCatch":
+                    name = catch_children[0].value or ""
+                    catch_children = catch_children[1:]
+                lines.append(f"{pad}}} catch ({name}) {{")
+                lines.extend(_js_body(catch_children, depth + 1))
+            elif part.kind == "Finally":
+                lines.append(f"{pad}}} finally {{")
+                lines.extend(_js_body(part.children, depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if kind == "Block":
+        lines = [f"{pad}{{"] + _js_body(node.children, depth + 1) + [f"{pad}}}"]
+        return "\n".join(lines)
+    if kind == "EmptyStatement":
+        return f"{pad};"
+    # Expression statement.
+    return f"{pad}{_js_expr(node)};"
+
+
+def print_javascript(ast: Ast) -> str:
+    """Print a JavaScript AST back to source."""
+    return "\n".join(_js_stmt(child, 0) for child in ast.root.children) + "\n"
+
+
+# ======================================================================
+# Python
+# ======================================================================
+
+
+def _py_expr(node: Node) -> str:
+    kind = node.kind
+    if kind == "Name":
+        return node.value or ""
+    if kind in ("arg", "SelfArg"):
+        return node.value or ""
+    if kind == "Num":
+        return node.value or "0"
+    if kind == "Str":
+        return '"' + (node.value or "") + '"'
+    if kind == "NameConstant":
+        return node.value or "None"
+    if kind.startswith("BinOp"):
+        op = kind[len("BinOp"):]
+        return f"({_py_expr(node.children[0])} {op} {_py_expr(node.children[1])})"
+    if kind.startswith("BoolOp"):
+        op = kind[len("BoolOp"):]
+        return "(" + f" {op} ".join(_py_expr(c) for c in node.children) + ")"
+    if kind.startswith("UnaryOp"):
+        op = kind[len("UnaryOp"):]
+        spacer = " " if op.isalpha() else ""
+        return f"{op}{spacer}{_py_expr(node.children[0])}"
+    if kind.startswith("Compare") and kind != "CompareChain":
+        op = kind[len("Compare"):]
+        op = {"isnot": "is not", "notin": "not in"}.get(op, op)
+        return f"({_py_expr(node.children[0])} {op} {_py_expr(node.children[1])})"
+    if kind == "Call":
+        callee = _py_expr(node.children[0])
+        parts = []
+        for child in node.children[1:]:
+            if child.kind == "keyword":
+                if child.children[0].kind == "KeywordName":
+                    parts.append(
+                        f"{child.children[0].value}={_py_expr(child.children[1])}"
+                    )
+                else:
+                    parts.append(f"**{_py_expr(child.children[0])}")
+            else:
+                parts.append(_py_expr(child))
+        return f"{callee}({', '.join(parts)})"
+    if kind == "Attribute":
+        return f"{_py_expr(node.children[0])}.{node.children[1].value}"
+    if kind == "Subscript":
+        return f"{_py_expr(node.children[0])}[{_py_expr(node.children[1])}]"
+    if kind == "Tuple":
+        return ", ".join(_py_expr(c) for c in node.children)
+    if kind == "List":
+        return "[" + ", ".join(_py_expr(c) for c in node.children) + "]"
+    if kind == "Dict":
+        halves = node.children
+        pairs = [
+            f"{_py_expr(halves[i])}: {_py_expr(halves[i + 1])}"
+            for i in range(0, len(halves) - 1, 2)
+        ]
+        return "{" + ", ".join(pairs) + "}"
+    raise PrintError(f"unknown Python expression kind {kind!r}")
+
+
+def _py_block(children: List[Node], depth: int) -> List[str]:
+    lines = []
+    for child in children:
+        lines.extend(_py_stmt(child, depth))
+    if not lines:
+        lines = ["    " * depth + "pass"]
+    return lines
+
+
+def _py_stmt(node: Node, depth: int) -> List[str]:
+    pad = "    " * depth
+    kind = node.kind
+    if kind == "FunctionDef":
+        name = node.children[0].value
+        params = [
+            c.value or "" for c in node.children if c.kind in ("arg", "SelfArg")
+        ]
+        body = [
+            c
+            for c in node.children
+            if c.kind not in ("FunctionName", "arg", "SelfArg", "Default")
+        ]
+        return [f"{pad}def {name}({', '.join(params)}):"] + _py_block(body, depth + 1)
+    if kind == "Assign":
+        targets = node.children[:-1]
+        value = node.children[-1]
+        lhs = " = ".join(_py_expr(t) for t in targets)
+        return [f"{pad}{lhs} = {_py_expr(value)}"]
+    if kind.startswith("AugAssign"):
+        op = kind[len("AugAssign"):]
+        return [f"{pad}{_py_expr(node.children[0])} {op}= {_py_expr(node.children[1])}"]
+    if kind == "If":
+        rest = node.children[1:]
+        else_node = rest[-1] if rest and rest[-1].kind == "Else" else None
+        body = list(rest[:-1] if else_node is not None else rest)
+        lines = [f"{pad}if {_py_expr(node.children[0])}:"] + _py_block(body, depth + 1)
+        if else_node is not None:
+            lines.append(f"{pad}else:")
+            lines.extend(_py_block(else_node.children, depth + 1))
+        return lines
+    if kind == "While":
+        return [f"{pad}while {_py_expr(node.children[0])}:"] + _py_block(
+            node.children[1:], depth + 1
+        )
+    if kind == "For":
+        target = _py_expr(node.children[0])
+        iterable = _py_expr(node.children[1])
+        rest = node.children[2:]
+        else_node = rest[-1] if rest and rest[-1].kind == "Else" else None
+        body = list(rest[:-1] if else_node is not None else rest)
+        lines = [f"{pad}for {target} in {iterable}:"] + _py_block(body, depth + 1)
+        if else_node is not None:
+            lines.append(f"{pad}else:")
+            lines.extend(_py_block(else_node.children, depth + 1))
+        return lines
+    if kind == "Return":
+        if node.children:
+            return [f"{pad}return {_py_expr(node.children[0])}"]
+        return [f"{pad}return"]
+    if kind == "Break":
+        return [f"{pad}break"]
+    if kind == "Continue":
+        return [f"{pad}continue"]
+    if kind == "Raise":
+        if node.children:
+            return [f"{pad}raise {_py_expr(node.children[0])}"]
+        return [f"{pad}raise"]
+    if kind == "Pass":
+        return [f"{pad}pass"]
+    # Expression statement.
+    return [f"{pad}{_py_expr(node)}"]
+
+
+def print_python(ast: Ast) -> str:
+    """Print a Python AST back to source."""
+    lines: List[str] = []
+    for child in ast.root.children:
+        lines.extend(_py_stmt(child, 0))
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Renaming
+# ======================================================================
+
+
+def apply_renaming(ast: Ast, renaming: Dict[str, str]) -> None:
+    """Substitute predicted names on the tree, in place.
+
+    ``renaming`` maps frontend binding keys to new names; every identifier
+    occurrence whose ``meta["binding"]`` is in the map is renamed.
+    """
+    for node in ast.root.walk():
+        binding = node.meta.get("binding")
+        if binding in renaming and node.value is not None:
+            node.value = renaming[binding]
+
+
+_PRINTERS: Dict[str, Callable[[Ast], str]] = {
+    "javascript": print_javascript,
+    "python": print_python,
+}
+
+
+def print_source(ast: Ast) -> str:
+    """Print an AST back to source text (JavaScript and Python)."""
+    printer = _PRINTERS.get(ast.language)
+    if printer is None:
+        supported = ", ".join(sorted(_PRINTERS))
+        raise PrintError(
+            f"no printer for language {ast.language!r}; printable: {supported}"
+        )
+    return printer(ast)

@@ -1,0 +1,5 @@
+"""Python frontend (bridges the CPython ``ast`` module)."""
+
+from .bridge import PythonFrontend, parse_python
+
+__all__ = ["PythonFrontend", "parse_python"]

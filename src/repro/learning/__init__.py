@@ -1,0 +1,1 @@
+"""Learning engines driven by the path-based representation."""

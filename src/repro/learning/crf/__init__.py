@@ -1,0 +1,24 @@
+"""Conditional random fields over program-element graphs.
+
+This package reimplements the Nice2Predict-style CRF the paper plugs AST
+paths into (Sec. 3.1, 5.1), including the paper's two extensions:
+
+* **unary factors** for paths between occurrences of the same element;
+* a **top-k candidate suggestion** API.
+"""
+
+from .graph import CrfGraph, KnownNeighbor, UnknownNode
+from .model import CrfModel
+from .inference import map_inference, topk_for_node
+from .training import CrfTrainer, TrainingConfig
+
+__all__ = [
+    "CrfGraph",
+    "KnownNeighbor",
+    "UnknownNode",
+    "CrfModel",
+    "map_inference",
+    "topk_for_node",
+    "CrfTrainer",
+    "TrainingConfig",
+]

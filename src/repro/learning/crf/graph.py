@@ -1,0 +1,119 @@
+"""CRF graph structure over program elements.
+
+Following Raychev et al. [40] and Sec. 3.1 of the paper, each *program
+element* (not each AST node) is a random variable: all AST occurrences of
+one identifier are merged into a single CRF node.  Factors connect:
+
+* an unknown element and a **known** neighbour (identifier with a fixed
+  label, literal, property name, ...) -- pairwise factor with one free end;
+* two **unknown** elements -- pairwise factor with two free ends;
+* an unknown element with itself -- a **unary factor**, derived from paths
+  between different occurrences of the same element (the paper's
+  Nice2Predict extension, worth about 1.5% accuracy).
+
+The relation attached to each factor is the abstract path encoding; with
+the ``no-path`` abstraction all relations collapse into one symbol, which
+is exactly the "bag of near identifiers" baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class KnownNeighbor:
+    """A pairwise factor between an unknown node and a fixed-label value.
+
+    ``rel`` is directional *from* the unknown element *to* the neighbour.
+    """
+
+    rel: str
+    label: str
+
+
+@dataclass(frozen=True)
+class UnknownEdge:
+    """A pairwise factor between two unknown nodes.
+
+    Stored on the side of node ``owner``; ``other`` is the peer's index in
+    the graph.  ``rel`` is directional from owner to peer.
+    """
+
+    rel: str
+    other: int
+
+
+@dataclass
+class UnknownNode:
+    """One predictable program element and its factors."""
+
+    #: Gold label (the original, stripped name); empty at pure inference.
+    gold: str = ""
+    #: Opaque element key for reporting (e.g. the frontend binding).
+    key: str = ""
+    #: Pairwise factors to known neighbours.
+    known: List[KnownNeighbor] = field(default_factory=list)
+    #: Pairwise factors to other unknown nodes (directional, this side).
+    edges: List[UnknownEdge] = field(default_factory=list)
+    #: Unary factors: relations between occurrences of this element.
+    unary: List[str] = field(default_factory=list)
+
+    def degree(self) -> int:
+        return len(self.known) + len(self.edges) + len(self.unary)
+
+
+class CrfGraph:
+    """A factor graph for one program (one file in our corpora)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.unknowns: List[UnknownNode] = []
+        self._key_to_index: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_unknown(self, key: str, gold: str = "") -> int:
+        """Add (or fetch) the unknown node for an element key."""
+        if key in self._key_to_index:
+            return self._key_to_index[key]
+        index = len(self.unknowns)
+        self.unknowns.append(UnknownNode(gold=gold, key=key))
+        self._key_to_index[key] = index
+        return index
+
+    def index_of(self, key: str) -> Optional[int]:
+        return self._key_to_index.get(key)
+
+    def add_known_factor(self, index: int, rel: str, label: str) -> None:
+        self.unknowns[index].known.append(KnownNeighbor(rel, label))
+
+    def add_unknown_factor(self, a: int, b: int, rel: str, rel_reverse: str) -> None:
+        """Connect two unknowns; each side stores its directional relation."""
+        if a == b:
+            raise ValueError("use add_unary_factor for self relations")
+        self.unknowns[a].edges.append(UnknownEdge(rel, b))
+        self.unknowns[b].edges.append(UnknownEdge(rel_reverse, a))
+
+    def add_unary_factor(self, index: int, rel: str) -> None:
+        self.unknowns[index].unary.append(rel)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.unknowns)
+
+    def gold_assignment(self) -> List[str]:
+        return [node.gold for node in self.unknowns]
+
+    def factor_count(self) -> int:
+        return sum(node.degree() for node in self.unknowns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrfGraph({self.name!r}, nodes={len(self.unknowns)}, "
+            f"factors={self.factor_count()})"
+        )

@@ -1,0 +1,128 @@
+"""MAP inference and top-k suggestion for the CRF.
+
+MAP inference uses iterated conditional modes (ICM) over per-node
+candidate beams: initialise every unknown node greedily from its known
+neighbourhood, then sweep the nodes, moving each to its best label given
+the current assignment, until a sweep changes nothing.  This is the same
+family of greedy candidate-swap inference Nice2Predict uses.
+
+``topk_for_node`` implements the paper's top-k extension (Sec. 5.1,
+adopted into Nice2Predict): conditioned on the MAP assignment of the rest
+of the graph, rank the candidate labels of one node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import CrfGraph
+from .model import CrfModel
+
+#: Label used to initialise nodes before the first sweep.
+UNKNOWN_LABEL = "?"
+
+
+def map_inference(
+    model: CrfModel,
+    graph: CrfGraph,
+    max_sweeps: int = 8,
+    beam: int = 48,
+    loss_augmented: bool = False,
+    gold: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Approximate MAP assignment for all unknown nodes of a graph.
+
+    With ``loss_augmented=True`` (training only) a unit reward is added to
+    every label different from the gold one, so the returned assignment is
+    the margin violator required by structured max-margin updates.
+    """
+    if loss_augmented and gold is None:
+        raise ValueError("loss-augmented inference requires the gold assignment")
+
+    assignment: List[str] = [UNKNOWN_LABEL] * len(graph)
+    candidate_cache: List[List[str]] = [[] for _ in range(len(graph))]
+
+    # Greedy initialisation in order of decreasing known-degree, so highly
+    # constrained nodes anchor their neighbours.
+    order = sorted(
+        range(len(graph)),
+        key=lambda i: -(len(graph.unknowns[i].known) + len(graph.unknowns[i].unary)),
+    )
+    for i in order:
+        node = graph.unknowns[i]
+        candidates = model.candidates_for(node, assignment, beam=beam)
+        candidate_cache[i] = candidates
+        assignment[i] = _best_label(
+            model, graph, i, candidates, assignment, loss_augmented, gold
+        )
+
+    # ICM sweeps.
+    for _ in range(max_sweeps):
+        changed = False
+        for i in range(len(graph)):
+            node = graph.unknowns[i]
+            # Refresh candidates: neighbour labels may have changed.
+            candidates = model.candidates_for(node, assignment, beam=beam)
+            merged = list(dict.fromkeys(candidate_cache[i] + candidates))
+            candidate_cache[i] = merged[:beam]
+            best = _best_label(
+                model, graph, i, candidate_cache[i], assignment, loss_augmented, gold
+            )
+            if best != assignment[i]:
+                assignment[i] = best
+                changed = True
+        if not changed:
+            break
+    return assignment
+
+
+def _best_label(
+    model: CrfModel,
+    graph: CrfGraph,
+    index: int,
+    candidates: Sequence[str],
+    assignment: Sequence[str],
+    loss_augmented: bool,
+    gold: Optional[Sequence[str]],
+) -> str:
+    node = graph.unknowns[index]
+    best_label = assignment[index]
+    best_score = float("-inf")
+    for label in candidates or (UNKNOWN_LABEL,):
+        score = model.node_score(node, label, assignment)
+        if loss_augmented and gold is not None and label != gold[index]:
+            score += 1.0
+        if score > best_score:
+            best_score = score
+            best_label = label
+    return best_label
+
+
+def topk_for_node(
+    model: CrfModel,
+    graph: CrfGraph,
+    index: int,
+    k: int = 8,
+    assignment: Optional[Sequence[str]] = None,
+    beam: int = 96,
+) -> List[Tuple[str, float]]:
+    """Top-k candidate labels for one node, with their scores.
+
+    The rest of the graph is fixed to ``assignment`` (computed by MAP
+    inference when not provided).  This is the API the paper used for the
+    qualitative study of Table 4a.
+    """
+    if assignment is None:
+        assignment = map_inference(model, graph)
+    node = graph.unknowns[index]
+    candidates = model.candidates_for(node, assignment, beam=beam)
+    scored = [
+        (label, model.node_score(node, label, assignment)) for label in candidates
+    ]
+    scored.sort(key=lambda kv: (-kv[1], kv[0]))
+    return scored[:k]
+
+
+def predict(model: CrfModel, graph: CrfGraph) -> List[str]:
+    """Convenience wrapper: the MAP assignment."""
+    return map_inference(model, graph)

@@ -1,0 +1,187 @@
+"""CRF model: sparse weights, scoring, and the candidate index.
+
+The model scores an assignment ``y`` of labels to a graph's unknown nodes
+as the sum of factor weights (log-potentials):
+
+``score(y) = sum_i [ sum_{(rel,l) in known_i} w_p(y_i, rel, l)
+                   + sum_{(rel,j) in edges_i} w_p(y_i, rel, y_j)
+                   + sum_{rel in unary_i}     w_u(y_i, rel) ]``
+
+This corresponds to the (log of the) unnormalised product of factors in
+Eq. (1); MAP inference does not need the partition function ``Z``.
+
+The *candidate index* maps observed ``(rel, neighbour-label)`` contexts to
+the gold labels seen with them in training -- the mechanism Nice2Predict
+uses to keep inference over a tractable beam of candidate names.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .graph import CrfGraph, UnknownNode
+
+PairKey = Tuple[str, str, str]  # (label, rel, other_label)
+UnaryKey = Tuple[str, str]  # (label, rel)
+
+
+class CrfModel:
+    """Sparse log-linear model over pairwise and unary factors."""
+
+    def __init__(self, use_unary: bool = True) -> None:
+        self.pair_weights: Dict[PairKey, float] = defaultdict(float)
+        self.unary_weights: Dict[UnaryKey, float] = defaultdict(float)
+        #: (rel, other_label) -> Counter of gold labels seen in training.
+        self.candidate_index: Dict[Tuple[str, str], Counter] = defaultdict(Counter)
+        #: rel -> Counter of gold labels (for unary-only nodes).
+        self.unary_candidate_index: Dict[str, Counter] = defaultdict(Counter)
+        #: Global label frequencies (fallback candidates).
+        self.label_counts: Counter = Counter()
+        self.use_unary = use_unary
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def node_score(
+        self,
+        node: UnknownNode,
+        label: str,
+        assignment: Sequence[str],
+    ) -> float:
+        """Score of ``label`` for one node given the current assignment."""
+        score = 0.0
+        pair = self.pair_weights
+        for factor in node.known:
+            key = (label, factor.rel, factor.label)
+            if key in pair:
+                score += pair[key]
+        for edge in node.edges:
+            key = (label, edge.rel, assignment[edge.other])
+            if key in pair:
+                score += pair[key]
+        if self.use_unary:
+            unary = self.unary_weights
+            for rel in node.unary:
+                key = (label, rel)
+                if key in unary:
+                    score += unary[key]
+        return score
+
+    def assignment_score(self, graph: CrfGraph, assignment: Sequence[str]) -> float:
+        """Total (directionally double-counted, consistent) graph score."""
+        return sum(
+            self.node_score(node, assignment[i], assignment)
+            for i, node in enumerate(graph.unknowns)
+        )
+
+    # ------------------------------------------------------------------
+    # Candidates
+    # ------------------------------------------------------------------
+    def observe_training_node(self, node: UnknownNode, graph: CrfGraph) -> None:
+        """Record a gold-labelled node into the candidate index."""
+        gold = node.gold
+        self.label_counts[gold] += 1
+        for factor in node.known:
+            self.candidate_index[(factor.rel, factor.label)][gold] += 1
+        for edge in node.edges:
+            other_gold = graph.unknowns[edge.other].gold
+            self.candidate_index[(edge.rel, other_gold)][gold] += 1
+        for rel in node.unary:
+            self.unary_candidate_index[rel][gold] += 1
+
+    def candidates_for(
+        self,
+        node: UnknownNode,
+        assignment: Sequence[str],
+        beam: int = 48,
+        per_context: int = 12,
+        global_fallback: int = 8,
+    ) -> List[str]:
+        """Candidate labels for one node given its neighbourhood."""
+        seen: Dict[str, int] = {}
+
+        def add_counter(counter: Counter, limit: int) -> None:
+            for label, count in counter.most_common(limit):
+                seen[label] = seen.get(label, 0) + count
+
+        for factor in node.known:
+            counter = self.candidate_index.get((factor.rel, factor.label))
+            if counter:
+                add_counter(counter, per_context)
+        for edge in node.edges:
+            counter = self.candidate_index.get((edge.rel, assignment[edge.other]))
+            if counter:
+                add_counter(counter, per_context)
+        if self.use_unary:
+            for rel in node.unary:
+                counter = self.unary_candidate_index.get(rel)
+                if counter:
+                    add_counter(counter, per_context)
+        for label, count in self.label_counts.most_common(global_fallback):
+            seen.setdefault(label, count)
+        ranked = sorted(seen.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [label for label, _ in ranked[:beam]]
+
+    # ------------------------------------------------------------------
+    # Updates (used by the trainer)
+    # ------------------------------------------------------------------
+    def add_pair(self, key: PairKey, delta: float) -> None:
+        self.pair_weights[key] += delta
+
+    def add_unary(self, key: UnaryKey, delta: float) -> None:
+        self.unary_weights[key] += delta
+
+    def l2_decay(self, factor: float) -> None:
+        """Multiplicative weight decay (L2 regularisation step)."""
+        for key in self.pair_weights:
+            self.pair_weights[key] *= factor
+        for key in self.unary_weights:
+            self.unary_weights[key] *= factor
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        return len(self.pair_weights) + len(self.unary_weights)
+
+    def top_features(self, n: int = 20) -> List[Tuple[str, float]]:
+        """Highest-weight features -- CRFs are interpretable (Sec. 5.3)."""
+        items: List[Tuple[str, float]] = []
+        for (label, rel, other), w in self.pair_weights.items():
+            items.append((f"pair: {label} --[{rel}]--> {other}", w))
+        for (label, rel), w in self.unary_weights.items():
+            items.append((f"unary: {label} --[{rel}]--> (self)", w))
+        items.sort(key=lambda kv: -abs(kv[1]))
+        return items[:n]
+
+    def to_dict(self) -> dict:
+        return {
+            "pair_weights": {"\x1f".join(k): v for k, v in self.pair_weights.items()},
+            "unary_weights": {"\x1f".join(k): v for k, v in self.unary_weights.items()},
+            "label_counts": dict(self.label_counts),
+            "use_unary": self.use_unary,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrfModel":
+        model = cls(use_unary=data.get("use_unary", True))
+        for key, value in data.get("pair_weights", {}).items():
+            label, rel, other = key.split("\x1f")
+            model.pair_weights[(label, rel, other)] = value
+        for key, value in data.get("unary_weights", {}).items():
+            label, rel = key.split("\x1f")
+            model.unary_weights[(label, rel)] = value
+        model.label_counts.update(data.get("label_counts", {}))
+        return model
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path: str) -> "CrfModel":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

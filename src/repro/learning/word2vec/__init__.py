@@ -1,0 +1,18 @@
+"""Skip-gram with negative sampling over arbitrary contexts (Sec. 3.2).
+
+A from-scratch numpy implementation of Levy & Goldberg's generalised
+word2vec, plus the paper's Eq. (4) predictor.
+"""
+
+from .vocab import Vocabulary, build_vocabularies
+from .sgns import SgnsConfig, SgnsModel, train_sgns
+from .predictor import ContextPredictor
+
+__all__ = [
+    "Vocabulary",
+    "build_vocabularies",
+    "SgnsConfig",
+    "SgnsModel",
+    "train_sgns",
+    "ContextPredictor",
+]

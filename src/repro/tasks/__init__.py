@@ -1,0 +1,23 @@
+"""Prediction tasks (Sec. 5.3): variable names, method names, full types."""
+
+from .variable_naming import (
+    RENAMEABLE_KINDS,
+    build_crf_graph,
+    element_groups,
+    extract_w2v_pairs,
+    element_contexts,
+)
+from .method_naming import build_method_graph, method_elements
+from .type_prediction import build_type_graph, typed_targets
+
+__all__ = [
+    "RENAMEABLE_KINDS",
+    "build_crf_graph",
+    "element_groups",
+    "extract_w2v_pairs",
+    "element_contexts",
+    "build_method_graph",
+    "method_elements",
+    "build_type_graph",
+    "typed_targets",
+]

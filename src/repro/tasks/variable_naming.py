@@ -1,0 +1,156 @@
+"""Variable-name prediction (Sec. 5.3.1).
+
+The renameable program elements are local variables and parameters --
+the names that minification strips in JavaScript and obfuscation strips
+elsewhere.  All AST occurrences of one element (one frontend ``binding``)
+merge into a single CRF node; paths between occurrences of the *same*
+element become unary factors, paths to fixed-label neighbours become
+pairwise factors, and paths between two renameable elements become
+unknown-unknown factors.
+
+The same extraction drives word2vec: each (element, path-context) pair
+becomes an SGNS training pair whose context token is ``rel + other
+endpoint value``.  Endpoints that are themselves renameable elements are
+replaced by a placeholder so gold names never leak into contexts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.ast_model import Ast, Node
+from ..core.extraction import ExtractedPath, PathExtractor
+from ..core.path_context import endpoint_value
+from ..learning.crf.graph import CrfGraph
+
+#: ``meta["id_kind"]`` values that are prediction targets.
+RENAMEABLE_KINDS = frozenset({"local", "param"})
+
+#: Placeholder for the value of an unknown element inside a context.
+PLACEHOLDER = "?"
+
+#: Separator inside a word2vec context token.
+CONTEXT_SEP = "\x1d"
+
+
+def _binding_of(node: Node) -> Optional[str]:
+    """The element key of a renameable identifier occurrence, else None."""
+    if node.meta.get("id_kind") in RENAMEABLE_KINDS:
+        return node.meta.get("binding")
+    return None
+
+
+def element_groups(ast: Ast) -> Dict[str, List[Node]]:
+    """binding -> occurrence leaves, for every renameable element."""
+    groups: Dict[str, List[Node]] = defaultdict(list)
+    for leaf in ast.leaves:
+        binding = _binding_of(leaf)
+        if binding is not None:
+            groups[binding].append(leaf)
+    return dict(groups)
+
+
+def build_crf_graph(
+    ast: Ast, extractor: PathExtractor, name: str = ""
+) -> CrfGraph:
+    """Build the CRF factor graph of one program for variable naming."""
+    graph = CrfGraph(name=name)
+    groups = element_groups(ast)
+    for binding, occurrences in groups.items():
+        graph.add_unknown(binding, gold=occurrences[0].value or "")
+
+    for extracted in extractor.extract(ast):
+        _add_factor(graph, extractor, extracted)
+    return graph
+
+
+def _add_factor(
+    graph: CrfGraph, extractor: PathExtractor, extracted: ExtractedPath
+) -> None:
+    start_binding = _binding_of(extracted.start)
+    end_binding = _binding_of(extracted.end)
+    if start_binding is None and end_binding is None:
+        return
+    rel_forward = extracted.context.path
+
+    if start_binding is not None and start_binding == end_binding:
+        index = graph.index_of(start_binding)
+        if index is not None:
+            graph.add_unary_factor(index, rel_forward)
+        return
+
+    rel_backward = extractor.context_for(extracted.path.reversed()).path
+    if start_binding is not None and end_binding is not None:
+        a = graph.index_of(start_binding)
+        b = graph.index_of(end_binding)
+        if a is not None and b is not None:
+            graph.add_unknown_factor(a, b, rel_forward, rel_backward)
+        return
+
+    if start_binding is not None:
+        index = graph.index_of(start_binding)
+        if index is not None:
+            graph.add_known_factor(index, rel_forward, extracted.context.end_value)
+        return
+
+    index = graph.index_of(end_binding)  # type: ignore[arg-type]
+    if index is not None:
+        graph.add_known_factor(index, rel_backward, extracted.context.start_value)
+
+
+# ----------------------------------------------------------------------
+# word2vec view of the same extraction
+# ----------------------------------------------------------------------
+
+
+def context_token(rel: str, other_label: str) -> str:
+    """Serialise (relation, neighbour label) into one context token."""
+    return f"{rel}{CONTEXT_SEP}{other_label}"
+
+
+def element_contexts(
+    ast: Ast, extractor: PathExtractor
+) -> Dict[str, Tuple[str, List[str]]]:
+    """binding -> (gold name, context tokens) for word2vec prediction.
+
+    Other unknown elements appearing at the far endpoint are masked with
+    :data:`PLACEHOLDER` so that the gold assignment never leaks.
+    """
+    groups = element_groups(ast)
+    contexts: Dict[str, List[str]] = {binding: [] for binding in groups}
+
+    for extracted in extractor.extract(ast):
+        start_binding = _binding_of(extracted.start)
+        end_binding = _binding_of(extracted.end)
+        if start_binding is None and end_binding is None:
+            continue
+        if start_binding is not None and start_binding == end_binding:
+            continue  # self-contexts would pair a name with itself
+        if start_binding is not None:
+            other = PLACEHOLDER if end_binding is not None else extracted.context.end_value
+            contexts[start_binding].append(
+                context_token(extracted.context.path, other)
+            )
+        if end_binding is not None:
+            rel_back = extractor.context_for(extracted.path.reversed()).path
+            other = (
+                PLACEHOLDER if start_binding is not None else extracted.context.start_value
+            )
+            contexts[end_binding].append(context_token(rel_back, other))
+
+    return {
+        binding: (groups[binding][0].value or "", tokens)
+        for binding, tokens in contexts.items()
+    }
+
+
+def extract_w2v_pairs(
+    ast: Ast, extractor: PathExtractor
+) -> List[Tuple[str, str]]:
+    """(gold name, context token) training pairs for SGNS."""
+    pairs: List[Tuple[str, str]] = []
+    for _binding, (gold, tokens) in element_contexts(ast, extractor).items():
+        for token in tokens:
+            pairs.append((gold, token))
+    return pairs

@@ -1,0 +1,128 @@
+"""Shared fixtures: small corpora, parsed ASTs, tiny trained models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import deduplicate, generate_corpus, split_corpus
+from repro.corpus.generator import CorpusConfig
+from repro.lang.base import parse_source
+
+
+FIG1_JS = """
+var d = false;
+while (!d) {
+  if (someCondition()) {
+    d = true;
+  }
+}
+"""
+
+FIG4_JS = "var item = array[i];"
+
+FIG5_JS = "var a, b, c, d;"
+
+COUNT_JAVA = """
+package com.example.app;
+import java.util.List;
+
+public class Counter {
+    private int total;
+
+    public int count(List<Integer> values, int value) {
+        int c = 0;
+        for (int r : values) {
+            if (r == value) {
+                c++;
+            }
+        }
+        return c;
+    }
+}
+"""
+
+SH3_PYTHON = '''
+def sh3(cmd):
+    process = popen(cmd)
+    retcode = process.returncode
+    if retcode:
+        raise CalledProcessError(retcode, cmd)
+    return retcode
+'''
+
+COUNT_CSHARP = """
+using System;
+using System.Collections.Generic;
+
+namespace Demo.App {
+    public class Counter {
+        public int Count(List<int> values, int value) {
+            int c = 0;
+            foreach (int r in values) {
+                if (r == value) {
+                    c++;
+                }
+            }
+            return c;
+        }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def fig1_ast():
+    return parse_source("javascript", FIG1_JS)
+
+
+@pytest.fixture(scope="session")
+def count_java_ast():
+    return parse_source("java", COUNT_JAVA)
+
+
+@pytest.fixture(scope="session")
+def sh3_python_ast():
+    return parse_source("python", SH3_PYTHON)
+
+
+@pytest.fixture(scope="session")
+def count_csharp_ast():
+    return parse_source("csharp", COUNT_CSHARP)
+
+
+def small_corpus(language: str, n_projects: int = 6, seed: int = 5):
+    files = generate_corpus(
+        CorpusConfig(language=language, n_projects=n_projects, files_per_project=(3, 6), seed=seed)
+    )
+    kept, _ = deduplicate(files)
+    return kept
+
+
+@pytest.fixture(scope="session")
+def js_corpus():
+    return small_corpus("javascript")
+
+
+@pytest.fixture(scope="session")
+def java_corpus():
+    return small_corpus("java")
+
+
+@pytest.fixture(scope="session")
+def python_corpus():
+    return small_corpus("python")
+
+
+@pytest.fixture(scope="session")
+def csharp_corpus():
+    return small_corpus("csharp")
+
+
+@pytest.fixture(scope="session")
+def js_split(js_corpus):
+    return split_corpus(js_corpus, seed=3)
+
+
+@pytest.fixture(scope="session")
+def js_asts(js_corpus):
+    return {f.path: parse_source("javascript", f.source) for f in js_corpus}

@@ -1,0 +1,88 @@
+"""Unit tests for path abstractions (Sec. 5.6)."""
+
+import pytest
+
+from repro.core.abstractions import (
+    ABSTRACTION_LADDER,
+    ABSTRACTIONS,
+    NO_PATH_SYMBOL,
+    alpha_first_last,
+    alpha_first_top_last,
+    alpha_forget_order,
+    alpha_id,
+    alpha_no_arrows,
+    alpha_no_path,
+    alpha_top,
+    get_abstraction,
+)
+from repro.core.paths import path_between
+from repro.lang.javascript import parse_js
+
+from conftest import FIG1_JS
+
+
+@pytest.fixture(scope="module")
+def fig1_path():
+    ast = parse_js(FIG1_JS)
+    ds = [leaf for leaf in ast.leaves if leaf.value == "d"]
+    return path_between(ds[1], ds[2])
+
+
+def test_alpha_id_is_full_encoding(fig1_path):
+    assert alpha_id(fig1_path) == fig1_path.encode()
+    assert "↑" in alpha_id(fig1_path)
+
+
+def test_no_arrows_drops_arrows(fig1_path):
+    encoded = alpha_no_arrows(fig1_path)
+    assert "↑" not in encoded and "↓" not in encoded
+    assert encoded.split(",") == list(fig1_path.kinds())
+
+
+def test_forget_order_is_sorted_bag(fig1_path):
+    encoded = alpha_forget_order(fig1_path)
+    parts = encoded.split(",")
+    assert parts == sorted(parts)
+    assert sorted(parts) == sorted(fig1_path.kinds())
+
+
+def test_forget_order_invariant_under_reversal(fig1_path):
+    assert alpha_forget_order(fig1_path) == alpha_forget_order(fig1_path.reversed())
+
+
+def test_first_top_last(fig1_path):
+    encoded = alpha_first_top_last(fig1_path)
+    assert encoded == "SymbolRef,While,SymbolRef"
+
+
+def test_first_last(fig1_path):
+    assert alpha_first_last(fig1_path) == "SymbolRef,SymbolRef"
+
+
+def test_top(fig1_path):
+    assert alpha_top(fig1_path) == "While"
+
+
+def test_no_path_is_constant(fig1_path):
+    assert alpha_no_path(fig1_path) == NO_PATH_SYMBOL
+    assert alpha_no_path(fig1_path.reversed()) == NO_PATH_SYMBOL
+
+
+def test_ladder_order_matches_registry():
+    assert set(ABSTRACTION_LADDER) == set(ABSTRACTIONS)
+    assert ABSTRACTION_LADDER[0] == "no-path"
+    assert ABSTRACTION_LADDER[-1] == "full"
+
+
+def test_get_abstraction_lookup():
+    assert get_abstraction("full") is alpha_id
+    with pytest.raises(KeyError):
+        get_abstraction("nope")
+
+
+def test_coarser_abstractions_conflate_more(fig1_path):
+    """Each ladder step should never *increase* distinguishable detail."""
+    reversed_path = fig1_path.reversed()
+    # full distinguishes a path from its reverse; forget-order does not.
+    assert alpha_id(fig1_path) != alpha_id(reversed_path)
+    assert alpha_forget_order(fig1_path) == alpha_forget_order(reversed_path)

@@ -1,0 +1,99 @@
+"""Unit tests for the analysis utilities."""
+
+import pytest
+
+from repro.eval.analysis import (
+    ErrorBreakdown,
+    OovReport,
+    error_breakdown,
+    label_distribution,
+    majority_baseline_accuracy,
+    oov_rate,
+)
+
+
+class TestOov:
+    def test_in_vocabulary(self):
+        report = oov_rate(["done", "count"], ["done", "count", "done"])
+        assert report.total == 3
+        assert report.in_vocabulary == 3
+        assert report.oov_rate == 0.0
+
+    def test_neologism(self):
+        """totalCount is composable from seen subtokens total and count."""
+        report = oov_rate(["total", "count"], ["totalCount"])
+        assert report.neologisms == 1
+        assert report.unknown == 0
+        assert report.oov_rate == 1.0
+        assert report.neologism_rate == 1.0
+
+    def test_entirely_unknown(self):
+        report = oov_rate(["done"], ["frobnicator"])
+        assert report.unknown == 1
+
+    def test_normalisation_applies(self):
+        report = oov_rate(["total_count"], ["totalCount"])
+        assert report.in_vocabulary == 1
+
+    def test_empty(self):
+        assert oov_rate([], []).oov_rate == 0.0
+
+    def test_corpus_oov_in_paper_range(self, js_corpus):
+        """Our generated corpora have single-digit OoV rates, like the
+        paper's 5-15% (Sec. 5.3)."""
+        from repro.corpus import split_corpus
+        from repro.lang.base import parse_source
+        from repro.tasks.variable_naming import element_groups
+
+        split = split_corpus(js_corpus, seed=9)
+
+        def labels(files):
+            out = []
+            for f in files:
+                ast = parse_source("javascript", f.source)
+                out.extend(occ[0].value for occ in element_groups(ast).values())
+            return out
+
+        report = oov_rate(labels(split.train), labels(split.test))
+        assert 0.0 <= report.oov_rate < 0.3
+
+
+class TestErrorBreakdown:
+    def test_counts(self):
+        breakdown = error_breakdown(["done", "count", None], ["done", "total", "x"])
+        assert breakdown.correct == 1
+        assert breakdown.total == 3
+        assert breakdown.confusions[("total", "count")] == 1
+        assert breakdown.confusions[("x", "<none>")] == 1
+        assert breakdown.accuracy == pytest.approx(1 / 3)
+
+    def test_top_confusions_sorted(self):
+        breakdown = ErrorBreakdown()
+        for _ in range(3):
+            breakdown.add("a", "b")
+        breakdown.add("c", "d")
+        top = breakdown.top_confusions(2)
+        assert top[0] == (("b", "a"), 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            error_breakdown(["a"], ["a", "b"])
+
+
+class TestDistributions:
+    def test_label_distribution(self):
+        dist = label_distribution(["a", "a", "b"])
+        assert dist[0] == ("a", pytest.approx(2 / 3))
+
+    def test_label_distribution_empty(self):
+        assert label_distribution([]) == []
+
+    def test_majority_baseline(self):
+        accuracy = majority_baseline_accuracy(
+            ["done", "done", "count"], ["done", "count"]
+        )
+        assert accuracy == pytest.approx(0.5)
+
+    def test_majority_baseline_empty(self):
+        assert majority_baseline_accuracy([], ["x"]) == 0.0
+        assert majority_baseline_accuracy(["x"], []) == 0.0

@@ -1,0 +1,140 @@
+"""Unit tests for the generic AST model (Def. 4.1)."""
+
+import pytest
+
+from repro.core.ast_model import Ast, Node, lowest_common_ancestor
+
+
+def build_tree():
+    #        root
+    #       /    \
+    #      a      b
+    #     / \      \
+    #    x   y      z
+    x = Node("X", value="x")
+    y = Node("Y", value="y")
+    z = Node("Z", value="z")
+    a = Node("A", children=[x, y])
+    b = Node("B", children=[z])
+    root = Node("Root", children=[a, b])
+    return root, a, b, x, y, z
+
+
+class TestNode:
+    def test_terminal_is_childless(self):
+        root, a, b, x, y, z = build_tree()
+        assert x.is_terminal and y.is_terminal and z.is_terminal
+        assert not a.is_terminal and not root.is_terminal
+
+    def test_parent_links(self):
+        root, a, b, x, y, z = build_tree()
+        assert x.parent is a
+        assert a.parent is root
+        assert root.parent is None
+        assert root.is_root
+
+    def test_each_node_appears_once(self):
+        """Def. 4.1: every node appears exactly once among children lists."""
+        x = Node("X", value="x")
+        Node("A", children=[x])
+        with pytest.raises(ValueError):
+            Node("B", children=[x])
+
+    def test_child_index(self):
+        root, a, b, x, y, z = build_tree()
+        assert x.child_index() == 0
+        assert y.child_index() == 1
+        assert b.child_index() == 1
+
+    def test_child_index_of_root_raises(self):
+        root, *_ = build_tree()
+        with pytest.raises(ValueError):
+            root.child_index()
+
+    def test_ancestors(self):
+        root, a, b, x, y, z = build_tree()
+        assert list(x.ancestors()) == [a, root]
+        assert list(x.ancestors(include_self=True)) == [x, a, root]
+
+    def test_depth(self):
+        root, a, b, x, y, z = build_tree()
+        assert root.depth() == 0
+        assert a.depth() == 1
+        assert x.depth() == 2
+
+    def test_walk_preorder(self):
+        root, a, b, x, y, z = build_tree()
+        kinds = [n.kind for n in root.walk()]
+        assert kinds == ["Root", "A", "X", "Y", "B", "Z"]
+
+    def test_leaves_in_source_order(self):
+        root, *_ = build_tree()
+        values = [leaf.value for leaf in root.leaves()]
+        assert values == ["x", "y", "z"]
+
+    def test_find(self):
+        root, *_ = build_tree()
+        assert [n.value for n in root.find("X")] == ["x"]
+        assert list(root.find("Nope")) == []
+
+    def test_label_and_pretty(self):
+        root, a, b, x, y, z = build_tree()
+        assert x.label() == "X(x)"
+        assert a.label() == "A"
+        text = root.pretty()
+        assert "Root" in text and "  A" in text and "    X(x)" in text
+
+
+class TestAst:
+    def test_accessors(self):
+        root, a, b, x, y, z = build_tree()
+        ast = Ast(root)
+        assert ast.start is root
+        assert ast.delta(a) == [x, y]
+        assert ast.pi(x) is a
+        assert ast.pi(root) is None
+        assert ast.val(x) == "x"
+
+    def test_val_rejects_nonterminal(self):
+        root, a, *_ = build_tree()
+        ast = Ast(root)
+        with pytest.raises(ValueError):
+            ast.val(a)
+
+    def test_leaf_indexing(self):
+        root, a, b, x, y, z = build_tree()
+        ast = Ast(root)
+        assert ast.leaves == [x, y, z]
+        assert ast.leaf_index(y) == 1
+        with pytest.raises(ValueError):
+            ast.leaf_index(a)
+
+    def test_size(self):
+        root, *_ = build_tree()
+        assert Ast(root).size() == 6
+
+    def test_refresh_after_mutation(self):
+        root, a, b, x, y, z = build_tree()
+        ast = Ast(root)
+        w = Node("W", value="w")
+        b.add_child(w)
+        ast.refresh()
+        assert ast.leaf_index(w) == 3
+
+
+class TestLowestCommonAncestor:
+    def test_basic(self):
+        root, a, b, x, y, z = build_tree()
+        assert lowest_common_ancestor(x, y) is a
+        assert lowest_common_ancestor(x, z) is root
+        assert lowest_common_ancestor(x, x) is x
+
+    def test_ancestor_descendant(self):
+        root, a, b, x, y, z = build_tree()
+        assert lowest_common_ancestor(a, x) is a
+
+    def test_disjoint_trees_raise(self):
+        root, *_ = build_tree()
+        other = Node("Other")
+        with pytest.raises(ValueError):
+            lowest_common_ancestor(root, other)

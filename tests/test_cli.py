@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _guess_language, build_parser, main
+
+from conftest import FIG1_JS
+
+
+class TestLanguageGuessing:
+    def test_by_extension(self):
+        assert _guess_language("a.js", None) == "javascript"
+        assert _guess_language("a.java", None) == "java"
+        assert _guess_language("a.py", None) == "python"
+        assert _guess_language("a.cs", None) == "csharp"
+
+    def test_explicit_overrides(self):
+        assert _guess_language("a.js", "python") == "python"
+
+    def test_unknown_extension_exits(self):
+        with pytest.raises(SystemExit):
+            _guess_language("a.txt", None)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_languages_command(self, capsys):
+        assert main(["languages"]) == 0
+        out = capsys.readouterr().out
+        assert "javascript" in out and "csharp" in out
+
+
+class TestPathsCommand:
+    def test_prints_path_contexts(self, tmp_path, capsys):
+        path = tmp_path / "fig1.js"
+        path.write_text(FIG1_JS)
+        assert main(["paths", str(path), "--max-length", "7", "--max-width", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "SymbolRef↑UnaryPrefix!↑While↓If↓Assign=↓SymbolRef" in out
+
+    def test_semi_paths_flag(self, tmp_path, capsys):
+        path = tmp_path / "fig1.js"
+        path.write_text(FIG1_JS)
+        assert main(["paths", str(path), "--semi-paths"]) == 0
+        out = capsys.readouterr().out
+        assert "Toplevel" in out  # semi-path endpoint kinds appear
+
+
+class TestExperimentCommand:
+    def test_mini_experiment(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "javascript",
+                "--projects",
+                "4",
+                "--epochs",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AST paths" in out and "%" in out
+
+
+class TestRenameCommand:
+    def test_rename_rejects_unprintable_language(self, tmp_path):
+        path = tmp_path / "a.java"
+        path.write_text("class T {}")
+        with pytest.raises(SystemExit):
+            main(["rename", str(path)])
+
+    def test_rename_js(self, tmp_path, capsys):
+        path = tmp_path / "min.js"
+        path.write_text(
+            "function f() { var d = false; while (!d) {"
+            " if (someCondition()) { d = true; } } }"
+        )
+        code = main(["rename", str(path), "--projects", "4", "--epochs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "function f" in out

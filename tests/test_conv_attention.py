@@ -1,0 +1,92 @@
+"""Unit tests for the convolutional-attention baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.conv_attention import (
+    ConvAttentionConfig,
+    _softmax,
+    method_examples,
+    train_conv_attention,
+)
+from repro.lang.base import parse_source
+
+
+def synthetic_examples(n_per_class=25):
+    examples = []
+    for i in range(n_per_class):
+        examples.append((["done", "false", "while", "if", "true"], "wait"))
+        examples.append((["count", "0", "for", "values", "return"], "count"))
+        examples.append((["sum", "0", "for", "values", "plus"], "sumValues"))
+    return examples
+
+
+class TestTraining:
+    def test_learns_separable_bodies(self):
+        examples = synthetic_examples()
+        model, stats = train_conv_attention(
+            examples, ConvAttentionConfig(embed_dim=16, epochs=12, seed=3)
+        )
+        assert stats.examples == len(examples)
+        hits = sum(model.predict(tokens) == label for tokens, label in examples)
+        assert hits / len(examples) > 0.9
+
+    def test_empty_training(self):
+        model, stats = train_conv_attention([])
+        assert stats.examples == 0
+
+    def test_topk_ordering(self):
+        model, _ = train_conv_attention(
+            synthetic_examples(), ConvAttentionConfig(embed_dim=16, epochs=6)
+        )
+        ranked = model.predict_topk(["done", "false", "while"], k=3)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_tokens_fall_back(self):
+        model, _ = train_conv_attention(
+            synthetic_examples(), ConvAttentionConfig(embed_dim=16, epochs=4)
+        )
+        assert model.predict(["neverseen1", "neverseen2"]) is not None
+
+
+class TestAttention:
+    def test_attention_weights_sum_to_one(self):
+        model, _ = train_conv_attention(
+            synthetic_examples(), ConvAttentionConfig(embed_dim=8, epochs=2)
+        )
+        ids = model._encode(["done", "false", "while"])
+        _summary, alpha = model._attention_summary(ids)
+        assert alpha.sum() == pytest.approx(1.0)
+        assert np.all(alpha >= 0)
+
+
+class TestMethodExamples:
+    def test_extracts_java_bodies(self):
+        source = (
+            "public class T { public int count(java.util.List<Integer> xs) {"
+            " int c = 0; for (int r : xs) { c++; } return c; } }"
+        )
+        ast = parse_source("java", source)
+        examples = method_examples(ast)
+        assert len(examples) == 1
+        tokens, label = examples[0]
+        assert label == "count"
+        assert "c" in tokens
+
+    def test_token_cap(self):
+        source = "public class T { public void m() { " + "use(x); " * 100 + "} }"
+        ast = parse_source("java", source)
+        examples = method_examples(ast, max_tokens=10)
+        assert len(examples[0][0]) == 10
+
+
+class TestSoftmax:
+    def test_distribution(self):
+        probs = _softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[2] > probs[1] > probs[0]
+
+    def test_stability_on_large_inputs(self):
+        probs = _softmax(np.array([1000.0, 1001.0]))
+        assert np.isfinite(probs).all()

@@ -1,0 +1,131 @@
+"""End-to-end integration tests: mini experiments across languages.
+
+These run the full pipeline (generate -> dedup -> split -> parse ->
+extract -> train -> predict -> score) at small scale and assert the
+*shape* of the paper's results: learned path models beat the structure-
+blind baselines.  Absolute numbers at this scale are noisy, so the
+assertions use generous margins.
+"""
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig
+from repro.eval.harness import (
+    evaluate_crf,
+    evaluate_w2v,
+    path_context_provider,
+    path_graph_builder,
+    prepare_language_data,
+)
+from repro.learning.crf import TrainingConfig
+from repro.learning.word2vec import SgnsConfig
+
+SMALL = dict(files_per_project=(4, 7))
+TRAIN = TrainingConfig(epochs=4)
+
+
+@pytest.fixture(scope="module")
+def js_data():
+    return prepare_language_data(
+        "javascript", CorpusConfig(language="javascript", n_projects=10, seed=42, **SMALL)
+    )
+
+
+@pytest.fixture(scope="module")
+def java_data():
+    return prepare_language_data(
+        "java", CorpusConfig(language="java", n_projects=10, seed=43, **SMALL)
+    )
+
+
+class TestVariableNamingShape:
+    def test_js_paths_beat_no_paths(self, js_data):
+        paths = evaluate_crf(js_data, path_graph_builder(7, 3), training_config=TRAIN)
+        no_paths = evaluate_crf(
+            js_data, path_graph_builder(7, 3, abstraction="no-path"), training_config=TRAIN
+        )
+        assert paths.accuracy > no_paths.accuracy + 10
+
+    def test_java_paths_beat_no_paths(self, java_data):
+        paths = evaluate_crf(java_data, path_graph_builder(6, 3), training_config=TRAIN)
+        no_paths = evaluate_crf(
+            java_data, path_graph_builder(6, 3, abstraction="no-path"), training_config=TRAIN
+        )
+        assert paths.accuracy > no_paths.accuracy
+
+    @pytest.mark.parametrize("language,seed", [("python", 44), ("csharp", 45)])
+    def test_other_languages_learn(self, language, seed):
+        data = prepare_language_data(
+            language, CorpusConfig(language=language, n_projects=8, seed=seed, **SMALL)
+        )
+        result = evaluate_crf(data, path_graph_builder(7, 4), training_config=TRAIN)
+        assert result.n > 10
+        assert result.accuracy > 20.0
+
+
+class TestWord2vecShape:
+    def test_paths_beat_neighbors(self, js_data):
+        from repro.baselines import path_neighbor_contexts
+
+        sgns = SgnsConfig(dim=32, epochs=8)
+        paths = evaluate_w2v(js_data, path_context_provider(7, 3), sgns)
+        neighbors = evaluate_w2v(
+            js_data, lambda f, a: path_neighbor_contexts(a), sgns
+        )
+        assert paths.accuracy > neighbors.accuracy
+
+
+class TestMethodAndTypeTasks:
+    def test_java_method_naming_learns(self, java_data):
+        from repro.eval.harness import method_graph_builder
+
+        result = evaluate_crf(
+            java_data, method_graph_builder(6, 2), training_config=TRAIN, with_f1=True
+        )
+        assert result.accuracy > 20.0
+        assert result.f1 >= result.accuracy - 10  # subtokens give partial credit
+
+    def test_java_types_beat_naive(self, java_data):
+        from repro.baselines.naive_type import NAIVE_TYPE
+        from repro.core.extraction import ExtractionConfig, PathExtractor
+        from repro.eval.harness import evaluate_prediction_map, type_graph_builder
+        from repro.tasks.type_prediction import build_type_graph
+
+        gold_extractor = PathExtractor(
+            ExtractionConfig(max_length=1, max_width=0, include_semi_paths=False)
+        )
+
+        def gold_types(ast):
+            graph = build_type_graph(ast, gold_extractor)
+            return {node.key: node.gold for node in graph.unknowns}
+
+        paths = evaluate_crf(
+            java_data, type_graph_builder(4, 1), training_config=TRAIN
+        )
+        naive = evaluate_prediction_map(
+            java_data,
+            lambda f, a: {key: NAIVE_TYPE for key in gold_types(a)},
+            gold_types,
+            name="naive",
+        )
+        assert paths.accuracy > naive.accuracy + 15
+
+
+class TestCrossLanguageConsistency:
+    def test_same_machinery_every_language(self):
+        """The paper's generality claim: identical extraction/learning
+        code runs on all four frontends."""
+        for language, seed in (
+            ("javascript", 50),
+            ("java", 51),
+            ("python", 52),
+            ("csharp", 53),
+        ):
+            data = prepare_language_data(
+                language,
+                CorpusConfig(language=language, n_projects=4, seed=seed, **SMALL),
+            )
+            result = evaluate_crf(
+                data, path_graph_builder(6, 3), training_config=TrainingConfig(epochs=2)
+            )
+            assert result.n > 0

@@ -1,0 +1,172 @@
+"""Unit tests for the Java type-inference oracle."""
+
+import pytest
+
+from repro.lang.java import parse_java
+from repro.lang.java.types import (
+    TypeEnvironment,
+    _erase,
+    _generic_args,
+    resolve_full_type,
+)
+
+
+def types_in(source):
+    ast = parse_java(source)
+    return {
+        (n.kind, n.value): n.meta.get("type")
+        for n in ast.root.walk()
+        if n.meta.get("type")
+    }
+
+
+def method_wrap(body, params=""):
+    return f"public class T {{ public void m({params}) {{ {body} }} }}"
+
+
+class TestResolution:
+    def test_builtin_java_lang(self):
+        assert resolve_full_type("String") == "java.lang.String"
+        assert resolve_full_type("Object") == "java.lang.Object"
+
+    def test_builtin_java_util(self):
+        assert resolve_full_type("List") == "java.util.List"
+        assert resolve_full_type("HashMap") == "java.util.HashMap"
+
+    def test_imports_take_precedence(self):
+        assert (
+            resolve_full_type("Connection", {"Connection": "com.acme.net.Connection"})
+            == "com.acme.net.Connection"
+        )
+
+    def test_unknown_returns_none(self):
+        assert resolve_full_type("Mystery") is None
+
+    def test_primitives_pass_through(self):
+        assert resolve_full_type("int") == "int"
+
+
+class TestHelpers:
+    def test_erase(self):
+        assert _erase("java.util.List<java.lang.Integer>") == "java.util.List"
+        assert _erase("java.lang.String") == "java.lang.String"
+
+    def test_generic_args(self):
+        assert _generic_args("java.util.List<java.lang.Integer>") == [
+            "java.lang.Integer"
+        ]
+        assert _generic_args("java.util.Map<java.lang.String, java.lang.Integer>") == [
+            "java.lang.String",
+            "java.lang.Integer",
+        ]
+        assert _generic_args("java.lang.String") == []
+
+
+class TestInference:
+    def test_literals(self):
+        found = types_in(method_wrap('String s = "x"; int i = 1; double d = 2.5; boolean b = true;'))
+        assert found[("StringLiteral", "x")] == "java.lang.String"
+        assert found[("IntegerLiteral", "1")] == "int"
+        assert found[("DoubleLiteral", "2.5")] == "double"
+        assert found[("BooleanLiteral", "true")] == "boolean"
+
+    def test_variable_reference_type(self):
+        found = types_in(method_wrap("String s = null; use(s);"))
+        assert found[("NameExpr", "s")] == "java.lang.String"
+
+    def test_param_type_with_generics(self):
+        found = types_in(method_wrap("use(xs);", params="List<Integer> xs"))
+        assert found[("NameExpr", "xs")] == "java.util.List<java.lang.Integer>"
+
+    def test_import_resolution(self):
+        source = (
+            "import com.acme.net.Connection;\n"
+            "public class T { public void m() { Connection c = open(); use(c); } }"
+        )
+        found = types_in(source)
+        assert found[("NameExpr", "c")] == "com.acme.net.Connection"
+
+    def test_string_concatenation(self):
+        ast = parse_java(method_wrap('String s = "a" + 1;'))
+        concat = next(n for n in ast.root.walk() if n.kind == "BinaryExpr+")
+        assert concat.meta["type"] == "java.lang.String"
+
+    def test_comparison_is_boolean(self):
+        ast = parse_java(method_wrap("boolean b = 1 < 2;"))
+        cmp_node = next(n for n in ast.root.walk() if n.kind == "BinaryExpr<")
+        assert cmp_node.meta["type"] == "boolean"
+
+    def test_numeric_promotion(self):
+        ast = parse_java(method_wrap("double d = 1 + 2.0;"))
+        add = next(n for n in ast.root.walk() if n.kind == "BinaryExpr+")
+        assert add.meta["type"] == "double"
+
+    def test_list_get_element_type(self):
+        source = method_wrap("Integer x = xs.get(0); use(x);", params="List<Integer> xs")
+        ast = parse_java(source)
+        call = next(n for n in ast.root.walk() if n.kind == "MethodCallExpr")
+        assert call.meta["type"] == "java.lang.Integer"
+
+    def test_list_size_is_int(self):
+        source = method_wrap("int n = xs.size();", params="List<Integer> xs")
+        ast = parse_java(source)
+        call = next(n for n in ast.root.walk() if n.kind == "MethodCallExpr")
+        assert call.meta["type"] == "int"
+
+    def test_map_get_value_type(self):
+        source = method_wrap('int v = m.get("k");', params="Map<String, Integer> m")
+        ast = parse_java(source)
+        call = next(n for n in ast.root.walk() if n.kind == "MethodCallExpr")
+        assert call.meta["type"] == "java.lang.Integer"
+
+    def test_string_methods(self):
+        source = method_wrap("String t = s.trim(); int n = s.length();", params="String s")
+        ast = parse_java(source)
+        calls = [n for n in ast.root.walk() if n.kind == "MethodCallExpr"]
+        assert calls[0].meta["type"] == "java.lang.String"
+        assert calls[1].meta["type"] == "int"
+
+    def test_static_math_call(self):
+        ast = parse_java(method_wrap("double r = Math.sqrt(x);", params="double x"))
+        call = next(n for n in ast.root.walk() if n.kind == "MethodCallExpr")
+        assert call.meta["type"] == "double"
+
+    def test_object_creation(self):
+        ast = parse_java(method_wrap("Object o = new StringBuilder();"))
+        new = next(n for n in ast.root.walk() if n.kind == "ObjectCreationExpr")
+        assert new.meta["type"] == "java.lang.StringBuilder"
+
+    def test_cast_type(self):
+        ast = parse_java(method_wrap("String s = (String) o;", params="Object o"))
+        cast = next(n for n in ast.root.walk() if n.kind == "CastExpr")
+        assert cast.meta["type"] == "java.lang.String"
+
+    def test_field_type_through_this(self):
+        source = (
+            "public class T { private String name; "
+            "public void m() { String x = this.name; use(x); } }"
+        )
+        ast = parse_java(source)
+        access = next(n for n in ast.root.walk() if n.kind == "FieldAccessExpr")
+        assert access.meta["type"] == "java.lang.String"
+
+    def test_own_method_return_type(self):
+        source = (
+            "public class T { public String name() { return null; } "
+            "public void m() { String x = name(); use(x); } }"
+        )
+        ast = parse_java(source)
+        calls = [n for n in ast.root.walk() if n.kind == "MethodCallExpr"]
+        named = [c for c in calls if c.children[0].value == "name"]
+        assert named and named[0].meta["type"] == "java.lang.String"
+
+    def test_unknown_call_untyped(self):
+        ast = parse_java(method_wrap("use(mystery());"))
+        calls = [n for n in ast.root.walk() if n.kind == "MethodCallExpr"]
+        mystery = [c for c in calls if c.children[0].value == "mystery"]
+        assert mystery and "type" not in mystery[0].meta
+
+    def test_assignment_propagates_lhs(self):
+        ast = parse_java(method_wrap("int x = 0; x = 5;"))
+        assign = next(n for n in ast.root.walk() if n.kind == "AssignExpr=")
+        assert assign.meta["type"] == "int"

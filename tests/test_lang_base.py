@@ -1,0 +1,72 @@
+"""Unit tests for the language registry and shared frontend contract."""
+
+import pytest
+
+from repro.lang.base import (
+    ParseError,
+    get_frontend,
+    parse_source,
+    register_language,
+    supported_languages,
+)
+
+
+class TestRegistry:
+    def test_four_builtin_languages(self):
+        assert supported_languages() == ("csharp", "java", "javascript", "python")
+
+    def test_get_frontend(self):
+        frontend = get_frontend("javascript")
+        assert frontend.name == "javascript"
+
+    def test_unknown_language(self):
+        with pytest.raises(KeyError):
+            get_frontend("fortran")
+
+    def test_parse_source_dispatch(self):
+        ast = parse_source("python", "x = 1")
+        assert ast.language == "python"
+
+
+class TestParseError:
+    def test_location_formatting(self):
+        error = ParseError("bad", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_no_location(self):
+        assert str(ParseError("bad")) == "bad"
+
+
+class TestFrontendContract:
+    """Every frontend must deliver the metadata the tasks rely on."""
+
+    SOURCES = {
+        "javascript": "function f(a) { var x = a + 1; return x; }",
+        "java": "public class T { public int m(int a) { int x = a + 1; return x; } }",
+        "python": "def f(a):\n    x = a + 1\n    return x",
+        "csharp": "class T { public int M(int a) { int x = a + 1; return x; } }",
+    }
+
+    @pytest.mark.parametrize("language", sorted(SOURCES))
+    def test_renameable_elements_have_bindings(self, language):
+        ast = parse_source(language, self.SOURCES[language])
+        renameable = [
+            leaf
+            for leaf in ast.leaves
+            if leaf.meta.get("id_kind") in ("local", "param")
+        ]
+        assert renameable, language
+        for leaf in renameable:
+            assert leaf.meta.get("binding"), (language, leaf.value)
+
+    @pytest.mark.parametrize("language", sorted(SOURCES))
+    def test_occurrences_group_by_binding(self, language):
+        ast = parse_source(language, self.SOURCES[language])
+        xs = [leaf for leaf in ast.leaves if leaf.value == "x"]
+        assert len(xs) >= 2, language
+        assert len({leaf.meta["binding"] for leaf in xs}) == 1
+
+    @pytest.mark.parametrize("language", sorted(SOURCES))
+    def test_ast_language_tag(self, language):
+        assert parse_source(language, self.SOURCES[language]).language == language

@@ -1,0 +1,139 @@
+"""Unit tests for the shared C-family lexer."""
+
+import pytest
+
+from repro.lang.base import ParseError
+from repro.lang.lexing import (
+    CHAR,
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    STRING,
+    Lexer,
+    Token,
+    TokenStream,
+)
+
+KW = frozenset({"if", "while", "return", "true"})
+
+
+def lex(source, language="javascript"):
+    return Lexer(source, KW, language).tokenize()
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = lex("if foo $bar _baz qux1")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [
+            (KEYWORD, "if"),
+            (IDENT, "foo"),
+            (IDENT, "$bar"),
+            (IDENT, "_baz"),
+            (IDENT, "qux1"),
+        ]
+
+    def test_eof_sentinel(self):
+        tokens = lex("")
+        assert len(tokens) == 1 and tokens[0].kind == EOF
+
+    def test_numbers(self):
+        tokens = lex("0 42 3.14 0xFF 1e9 2.5e-3 10L 1.5f")
+        texts = [t.text for t in tokens if t.kind == NUMBER]
+        assert texts == ["0", "42", "3.14", "0xFF", "1e9", "2.5e-3", "10L", "1.5f"]
+
+    def test_number_then_dot_call(self):
+        tokens = lex("1.foo")
+        assert tokens[0].kind == NUMBER and tokens[0].text == "1"
+        assert tokens[1].is_op(".")
+
+    def test_strings(self):
+        tokens = lex('"hello" "a\\"b"')
+        texts = [t.text for t in tokens if t.kind == STRING]
+        assert texts == ["hello", 'a\\"b']
+
+    def test_char_literals_in_java(self):
+        tokens = Lexer("'x'", frozenset(), "java").tokenize()
+        assert tokens[0].kind == CHAR and tokens[0].text == "x"
+
+    def test_single_quote_string_in_js(self):
+        tokens = lex("'hello'")
+        assert tokens[0].kind == STRING
+
+    def test_maximal_munch_operators(self):
+        tokens = lex("=== == = <= < ++ +")
+        texts = [t.text for t in tokens if t.kind == OP]
+        assert texts == ["===", "==", "=", "<=", "<", "++", "+"]
+
+    def test_positions(self):
+        tokens = lex("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        tokens = lex("a // comment\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comment(self):
+        tokens = lex("a /* multi\nline */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            lex("a /* nope")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            lex('"unclosed')
+
+    def test_newline_in_string(self):
+        with pytest.raises(ParseError):
+            lex('"a\nb"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            lex("a # b")
+
+
+class TestTokenStream:
+    def make(self, source):
+        return TokenStream(lex(source), "javascript")
+
+    def test_advance_and_peek(self):
+        ts = self.make("a b c")
+        assert ts.current.text == "a"
+        assert ts.peek().text == "b"
+        assert ts.advance().text == "a"
+        assert ts.current.text == "b"
+
+    def test_advance_stops_at_eof(self):
+        ts = self.make("a")
+        ts.advance()
+        assert ts.at_end()
+        ts.advance()
+        assert ts.at_end()
+
+    def test_match_and_expect(self):
+        ts = self.make("( foo )")
+        assert ts.match_op("(")
+        token = ts.expect_ident()
+        assert token.text == "foo"
+        assert ts.expect_op(")").text == ")"
+
+    def test_expect_failures(self):
+        ts = self.make("foo")
+        with pytest.raises(ParseError):
+            ts.expect_op(";")
+        with pytest.raises(ParseError):
+            ts.expect_keyword("while")
+
+    def test_match_keyword(self):
+        ts = self.make("while x")
+        assert ts.match_keyword("while")
+        assert not ts.match_keyword("if")

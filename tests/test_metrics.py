@@ -1,0 +1,136 @@
+"""Unit tests for the evaluation metrics (Sec. 5.2)."""
+
+import pytest
+
+from repro.eval.metrics import (
+    UNK,
+    AccuracyCounter,
+    SubtokenF1Counter,
+    exact_match,
+    normalize_name,
+    subtoken_f1,
+    subtokens,
+    topk_accuracy,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize_name("TotalCount") == "totalcount"
+
+    def test_strips_non_alphanumeric(self):
+        assert normalize_name("total_count") == "totalcount"
+        assert normalize_name("total-count!") == "totalcount"
+
+    def test_keeps_digits(self):
+        assert normalize_name("x2y") == "x2y"
+
+
+class TestExactMatch:
+    def test_paper_example(self):
+        """totalCount is an exact match for total_count."""
+        assert exact_match("totalCount", "total_count")
+
+    def test_case_insensitive(self):
+        assert exact_match("DONE", "done")
+
+    def test_mismatch(self):
+        assert not exact_match("done", "count")
+
+    def test_none_prediction(self):
+        assert not exact_match(None, "done")
+
+    def test_unk_never_matches(self):
+        assert not exact_match(UNK, UNK)
+        assert not exact_match("done", UNK)
+
+
+class TestSubtokens:
+    def test_camel_case(self):
+        assert subtokens("totalCount") == ["total", "count"]
+
+    def test_pascal_and_acronyms(self):
+        assert subtokens("multithreadedHttpConnectionManager") == [
+            "multithreaded",
+            "http",
+            "connection",
+            "manager",
+        ]
+        assert subtokens("HTTPServer") == ["http", "server"]
+
+    def test_snake_case(self):
+        assert subtokens("total_count") == ["total", "count"]
+
+    def test_single_token(self):
+        assert subtokens("done") == ["done"]
+
+    def test_empty(self):
+        assert subtokens("") == []
+
+
+class TestSubtokenF1:
+    def test_perfect(self):
+        p, r, f = subtoken_f1("totalCount", "total_count")
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_partial_paper_example(self):
+        """Predicting getFoo for gold getBar: half precision, half recall."""
+        p, r, f = subtoken_f1("getFoo", "getBar")
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+        assert f == pytest.approx(0.5)
+
+    def test_precision_recall_asymmetry(self):
+        p, r, f = subtoken_f1("get", "getTotalCount")
+        assert p == 1.0
+        assert r == pytest.approx(1 / 3)
+
+    def test_none_prediction_zero(self):
+        assert subtoken_f1(None, "done") == (0.0, 0.0, 0.0)
+
+    def test_multiset_overlap(self):
+        """Repeated subtokens count once per occurrence."""
+        p, r, f = subtoken_f1("aA", "a")
+        assert p == pytest.approx(0.5)
+        assert r == 1.0
+
+
+class TestCounters:
+    def test_accuracy_counter(self):
+        counter = AccuracyCounter()
+        assert counter.add("done", "done")
+        assert not counter.add("x", "y")
+        assert counter.total == 2
+        assert counter.accuracy == pytest.approx(0.5)
+        assert counter.as_percent() == pytest.approx(50.0)
+
+    def test_accuracy_empty(self):
+        assert AccuracyCounter().accuracy == 0.0
+
+    def test_merge(self):
+        a = AccuracyCounter(correct=1, total=2)
+        b = AccuracyCounter(correct=3, total=4)
+        a.merge(b)
+        assert (a.correct, a.total) == (4, 6)
+
+    def test_f1_counter_macro_average(self):
+        counter = SubtokenF1Counter()
+        counter.add("getFoo", "getBar")  # 0.5
+        counter.add("done", "done")  # 1.0
+        assert counter.f1 == pytest.approx(0.75)
+        assert counter.precision == pytest.approx(0.75)
+        assert counter.recall == pytest.approx(0.75)
+
+    def test_f1_counter_empty(self):
+        assert SubtokenF1Counter().f1 == 0.0
+
+
+class TestTopkAccuracy:
+    def test_hit_within_k(self):
+        predictions = [["a", "b", "done"], ["x"]]
+        golds = ["done", "y"]
+        assert topk_accuracy(predictions, golds, k=3) == pytest.approx(0.5)
+        assert topk_accuracy(predictions, golds, k=2) == 0.0
+
+    def test_empty(self):
+        assert topk_accuracy([], [], k=5) == 0.0

@@ -1,0 +1,134 @@
+"""Unit tests for the Python frontend (CPython ast bridge)."""
+
+import pytest
+
+from repro.lang.base import ParseError
+from repro.lang.python_lang import parse_python
+
+
+def kinds_of(source):
+    return [n.kind for n in parse_python(source).root.walk()]
+
+
+class TestConversion:
+    def test_function_def(self):
+        ast = parse_python("def f(a, b):\n    return a")
+        fn = ast.root.children[0]
+        assert fn.kind == "FunctionDef"
+        assert [c.kind for c in fn.children] == ["FunctionName", "arg", "arg", "Return"]
+        assert fn.children[0].value == "f"
+
+    def test_self_arg_special(self):
+        ast = parse_python("class C:\n    def m(self, x):\n        return x")
+        fn = next(n for n in ast.root.walk() if n.kind == "FunctionDef")
+        kinds = [c.kind for c in fn.children]
+        assert "SelfArg" in kinds and "arg" in kinds
+
+    def test_operator_bearing_kinds(self):
+        kinds = kinds_of("r = (a + b) * c")
+        assert "BinOp+" in kinds and "BinOp*" in kinds
+
+    def test_compare_kinds(self):
+        assert "Compare==" in kinds_of("r = a == b")
+        assert "Compare<" in kinds_of("r = a < b")
+        assert "Comparein" in kinds_of("r = a in b")
+
+    def test_compare_chain(self):
+        kinds = kinds_of("r = a < b < c")
+        assert "CompareChain" in kinds
+
+    def test_bool_and_unary_ops(self):
+        kinds = kinds_of("r = not a and b or c")
+        assert "UnaryOpnot" in kinds
+        assert "BoolOpand" in kinds and "BoolOpor" in kinds
+
+    def test_aug_assign(self):
+        assert "AugAssign+" in kinds_of("x += 1")
+
+    def test_call_with_keywords(self):
+        ast = parse_python("f(a, key=b)")
+        call = ast.root.children[0]
+        assert call.kind == "Call"
+        kw = call.children[-1]
+        assert kw.kind == "keyword"
+        assert kw.children[0].kind == "KeywordName"
+        assert kw.children[0].value == "key"
+
+    def test_attribute_access(self):
+        ast = parse_python("x = obj.attr")
+        attr = next(n for n in ast.root.walk() if n.kind == "Attribute")
+        assert attr.children[1].kind == "Attr"
+        assert attr.children[1].value == "attr"
+
+    def test_constants(self):
+        kinds = kinds_of("a = 1\nb = 'x'\nc = True\nd = None\ne = 2.5")
+        assert "Num" in kinds and "Str" in kinds and "NameConstant" in kinds
+
+    def test_if_else_structure(self):
+        ast = parse_python("if x:\n    f()\nelse:\n    g()")
+        node = ast.root.children[0]
+        assert node.kind == "If"
+        assert node.children[-1].kind == "Else"
+
+    def test_while_and_for(self):
+        kinds = kinds_of("while x:\n    f()\nfor i in xs:\n    g(i)")
+        assert "While" in kinds and "For" in kinds
+
+    def test_expression_statement_flattened(self):
+        ast = parse_python("f()")
+        assert ast.root.children[0].kind == "Call"
+
+    def test_subscript(self):
+        assert "Subscript" in kinds_of("x = xs[0]")
+
+    def test_syntax_error_normalised(self):
+        with pytest.raises(ParseError):
+            parse_python("def f(:\n    pass")
+
+
+class TestScopes:
+    def test_local_assignment_binding(self):
+        ast = parse_python("def f():\n    x = 1\n    return x")
+        xs = [l for l in ast.leaves if l.value == "x"]
+        assert len({l.meta["binding"] for l in xs}) == 1
+        assert all(l.meta["id_kind"] == "local" for l in xs)
+
+    def test_param_binding(self):
+        ast = parse_python("def f(cmd):\n    return cmd")
+        cmds = [l for l in ast.leaves if l.value == "cmd"]
+        assert cmds[0].meta["id_kind"] == "param"
+        assert len({l.meta["binding"] for l in cmds}) == 1
+
+    def test_tuple_unpacking_binds(self):
+        ast = parse_python("def f(p):\n    a, b = p.parts()\n    return a + b")
+        a_nodes = [l for l in ast.leaves if l.value == "a"]
+        assert all(l.meta["id_kind"] == "local" for l in a_nodes)
+
+    def test_for_target_binds(self):
+        ast = parse_python("def f(xs):\n    for v in xs:\n        use(v)")
+        vs = [l for l in ast.leaves if l.value == "v"]
+        assert all(l.meta["id_kind"] == "local" for l in vs)
+        assert len({l.meta["binding"] for l in vs}) == 1
+
+    def test_global_reference(self):
+        ast = parse_python("def f():\n    return CONST")
+        const = next(l for l in ast.leaves if l.value == "CONST")
+        assert const.meta["id_kind"] == "global"
+
+    def test_shadowing_across_functions(self):
+        ast = parse_python(
+            "def f():\n    x = 1\n    return x\n\ndef g():\n    x = 2\n    return x"
+        )
+        xs = [l for l in ast.leaves if l.value == "x"]
+        assert len({l.meta["binding"] for l in xs}) == 2
+
+    def test_attr_marked_property(self):
+        ast = parse_python("def f(p):\n    return p.returncode")
+        attr = next(l for l in ast.leaves if l.kind == "Attr")
+        assert attr.meta["id_kind"] == "property"
+
+    def test_sh3_bindings(self, sh3_python_ast):
+        process = [l for l in sh3_python_ast.leaves if l.value == "process"]
+        assert all(l.meta["id_kind"] == "local" for l in process)
+        retcode = [l for l in sh3_python_ast.leaves if l.value == "retcode"]
+        assert len({l.meta["binding"] for l in retcode}) == 1

@@ -1,0 +1,85 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.eval.harness import ExperimentResult
+from repro.eval.reports import (
+    accuracy_cell,
+    format_comparison_rows,
+    format_grid,
+    format_series,
+    format_table,
+    format_table2,
+)
+
+
+def result(name="model", accuracy=50.0, **extra):
+    return ExperimentResult(name=name, accuracy=accuracy, n=100, extra=extra)
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table("Title", [("a", "1"), ("longer", "22")], ("x", "y"))
+        lines = text.splitlines()
+        header = lines[2]
+        row = lines[4]
+        assert header.index("y") == row.index("1") or "1" in row
+
+    def test_title_and_separators(self):
+        text = format_table("My Table", [("a", "b")], ("h1", "h2"))
+        assert text.startswith("My Table\n-")
+        assert text.count("\n-") >= 2
+
+    def test_empty_rows(self):
+        text = format_table("T", [], ("only", "headers"))
+        assert "only" in text
+
+
+class TestCells:
+    def test_accuracy_cell(self):
+        assert accuracy_cell(result(accuracy=42.123)) == "42.1%"
+        assert accuracy_cell(None) == "-"
+
+
+class TestFigureFormats:
+    def test_series_includes_x_values(self):
+        results = [
+            result(accuracy=10.0, keep_probability=0.2),
+            result(accuracy=20.0, keep_probability=1.0),
+        ]
+        text = format_series("Fig", results, "keep_probability", "p")
+        assert "0.2" in text and "1" in text
+        assert "10.0%" in text and "20.0%" in text
+
+    def test_grid_layout(self):
+        results = [
+            result(accuracy=10.0, max_length=3.0, max_width=1.0),
+            result(accuracy=20.0, max_length=4.0, max_width=1.0),
+            result(accuracy=30.0, max_length=3.0, max_width=2.0),
+            result(accuracy=40.0, max_length=4.0, max_width=2.0),
+        ]
+        text = format_grid("Grid", results)
+        assert "3" in text and "4" in text
+        assert "40.0%" in text
+
+    def test_comparison_rows(self):
+        text = format_comparison_rows([("a", result()), ("b", result(accuracy=60.0))], "Cmp")
+        assert "60.0%" in text
+
+    def test_table2_sections(self):
+        text = format_table2(
+            [
+                ("Variable names", [("paths", result())]),
+                ("Method names", [("paths", result(accuracy=47.0))]),
+            ]
+        )
+        assert "Variable names" in text and "Method names" in text
+
+
+class TestExperimentResult:
+    def test_summary(self):
+        assert result(name="x", accuracy=51.26).summary() == "x: 51.3% (n=100)"
+
+    def test_extra_dict(self):
+        r = result(foo=1.5)
+        assert r.extra["foo"] == 1.5
