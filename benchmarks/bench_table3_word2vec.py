@@ -4,33 +4,35 @@ Paper: linear token-stream 20.6%, path-neighbours (no paths) 23.2%,
 AST paths 40.4%.  The headline claim -- AST-path contexts beat both
 alternative context types by a wide margin -- is what this benchmark
 regenerates.
+
+All three rows are registry cells: the same ``word2vec`` learner under
+the ``token-context``, ``no-paths`` and ``ast-paths`` representations,
+evaluated through :func:`repro.eval.harness.evaluate_spec` exactly as
+any user-registered representation would be.
 """
 
 from conftest import emit
-from repro.baselines import path_neighbor_contexts, token_stream_contexts
-from repro.eval.harness import evaluate_w2v, path_context_provider
+from repro.api import RunSpec
+from repro.eval.harness import evaluate_spec
 from repro.eval.reports import format_table
-from repro.learning.word2vec import SgnsConfig
 
-SGNS = SgnsConfig(dim=64, epochs=12)
+SGNS = {"dim": 64, "epochs": 12}
+
+
+def _cell(representation, js_data, name):
+    spec = RunSpec(
+        language="javascript",
+        representation=representation,
+        learner="word2vec",
+        sgns=SGNS,
+    )
+    return evaluate_spec(spec, js_data, name=name)
 
 
 def run_all(js_data):
-    tokens = evaluate_w2v(
-        js_data,
-        lambda f, a: token_stream_contexts(f.source, a, "javascript"),
-        SGNS,
-        name="linear token-stream",
-    )
-    neighbors = evaluate_w2v(
-        js_data,
-        lambda f, a: path_neighbor_contexts(a),
-        SGNS,
-        name="path-neighbours, no-paths",
-    )
-    paths = evaluate_w2v(
-        js_data, path_context_provider(7, 3), SGNS, name="AST paths"
-    )
+    tokens = _cell("token-context", js_data, "linear token-stream")
+    neighbors = _cell("no-paths", js_data, "path-neighbours, no-paths")
+    paths = _cell("ast-paths", js_data, "AST paths")
     rows = [
         ("linear token-stream + word2vec", f"{tokens.accuracy:.1f}%", "20.6%"),
         ("path-neighbours, no-paths + word2vec", f"{neighbors.accuracy:.1f}%", "23.2%"),

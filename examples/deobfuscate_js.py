@@ -8,10 +8,12 @@ scenario of Figs. 1/7/8.  Also prints the top-k candidate suggestions
 Run:  python examples/deobfuscate_js.py
 """
 
-from repro import Pigeon
+import os
+import tempfile
+
+from repro.api import Pipeline
 from repro.corpus import deduplicate, generate_corpus
 from repro.corpus.generator import CorpusConfig
-from repro.learning.crf import TrainingConfig
 
 STRIPPED = """
 function f(a, b) {
@@ -40,13 +42,13 @@ def main() -> None:
     kept, removed = deduplicate(files)
     print(f"  {len(kept)} files after removing {removed} duplicates")
 
-    pigeon = Pigeon(
+    pipeline = Pipeline(
         language="javascript",
         task="variable_naming",
         learner="crf",
-        training_config=TrainingConfig(epochs=5),
+        training={"epochs": 5},
     )
-    stats = pigeon.train([f.source for f in kept])
+    stats = pipeline.train([f.source for f in kept])
     print(
         f"Trained on {stats.files_trained} files "
         f"({stats.elements_trained} elements, {stats.parameters} parameters, "
@@ -57,14 +59,21 @@ def main() -> None:
     print(STRIPPED)
 
     print("=== Predicted names ===")
-    predictions = pigeon.predict(STRIPPED)
+    predictions = pipeline.predict(STRIPPED)
     for element, name in sorted(predictions.items()):
         print(f"  {element:>14} -> {name}")
 
     print("\n=== Top-5 candidates per element (Table 4a style) ===")
-    for element, ranked in sorted(pigeon.suggest(STRIPPED, k=5).items()):
+    for element, ranked in sorted(pipeline.suggest(STRIPPED, k=5).items()):
         names = ", ".join(name for name, _score in ranked)
         print(f"  {element:>14}: {names}")
+
+    print("\n=== Save / reload the trained pipeline ===")
+    model_path = os.path.join(tempfile.mkdtemp(), "deobfuscator.json")
+    pipeline.save(model_path)
+    reloaded = Pipeline.load(model_path)
+    assert reloaded.predict(STRIPPED) == predictions
+    print(f"  saved to {model_path}; reloaded predictions identical")
 
 
 if __name__ == "__main__":

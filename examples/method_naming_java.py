@@ -7,11 +7,11 @@ sub-token F1 -- the two metrics of Table 2's middle section.
 Run:  python examples/method_naming_java.py
 """
 
-from repro import Pigeon, parse_source
+from repro.api import Pipeline
+from repro import parse_source
 from repro.corpus import deduplicate, generate_corpus, split_corpus
 from repro.corpus.generator import CorpusConfig
 from repro.eval.metrics import AccuracyCounter, SubtokenF1Counter
-from repro.learning.crf import TrainingConfig
 from repro.tasks.method_naming import method_elements
 
 CHALLENGE = """
@@ -37,18 +37,18 @@ def main() -> None:
     kept, _ = deduplicate(files)
     split = split_corpus(kept, seed=2)
 
-    pigeon = Pigeon(
+    pipeline = Pipeline(
         language="java",
         task="method_naming",
-        training_config=TrainingConfig(epochs=5),
+        training={"epochs": 5},
     )
-    pigeon.train([f.source for f in split.train])
+    pipeline.train([f.source for f in split.train])
     print(f"Trained on {len(split.train)} files")
 
     accuracy = AccuracyCounter()
     f1 = SubtokenF1Counter()
     for file in split.test:
-        predictions = pigeon.predict(file.source)
+        predictions = pipeline.predict(file.source)
         ast = parse_source("java", file.source)
         golds = {key: str(info["gold"]) for key, info in method_elements(ast).items()}
         for key, gold in golds.items():
@@ -61,7 +61,7 @@ def main() -> None:
     )
 
     print("\n=== The paper's Fig. 9 scenario: name method `m` ===")
-    for key, name in pigeon.predict(CHALLENGE).items():
+    for key, name in pipeline.predict(CHALLENGE).items():
         print(f"  {key} -> {name}")
 
 

@@ -11,12 +11,12 @@ the full type, exactly like ``com.mysql.jdbc.Connection`` vs
 Run:  python examples/type_prediction_java.py
 """
 
-from repro import Pigeon, parse_source
+from repro.api import Pipeline
+from repro import parse_source
 from repro.baselines.naive_type import NAIVE_TYPE
 from repro.corpus import deduplicate, generate_corpus, split_corpus
 from repro.corpus.generator import CorpusConfig
 from repro.eval.metrics import AccuracyCounter
-from repro.learning.crf import TrainingConfig
 from repro.tasks.type_prediction import build_type_graph
 from repro.core.extraction import ExtractionConfig, PathExtractor
 
@@ -53,18 +53,18 @@ def main() -> None:
     kept, _ = deduplicate(files)
     split = split_corpus(kept, seed=4)
 
-    pigeon = Pigeon(
+    pipeline = Pipeline(
         language="java",
         task="type_prediction",
-        training_config=TrainingConfig(epochs=5),
+        training={"epochs": 5},
     )
-    pigeon.train([f.source for f in split.train])
+    pipeline.train([f.source for f in split.train])
     print(f"Trained on {len(split.train)} files")
 
     paths_accuracy = AccuracyCounter()
     naive_accuracy = AccuracyCounter()
     for file in split.test:
-        predictions = pigeon.predict(file.source)
+        predictions = pipeline.predict(file.source)
         golds = gold_types(parse_source("java", file.source))
         for key, gold in golds.items():
             paths_accuracy.add(predictions.get(key), gold)
@@ -76,7 +76,7 @@ def main() -> None:
     print(f"naive String:   {naive_accuracy.as_percent():.1f}%")
 
     print("\n=== Per-expression predictions on a query program ===")
-    predictions = pigeon.predict(QUERY)
+    predictions = pipeline.predict(QUERY)
     golds = gold_types(parse_source("java", QUERY))
     for key in sorted(golds):
         print(f"  {key:>28}: predicted={predictions.get(key)}  gold={golds[key]}")

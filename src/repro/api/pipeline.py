@@ -1,0 +1,211 @@
+"""The :class:`Pipeline` facade: one object per (language, task,
+representation, learner) cell.
+
+This is the public face of the plugin architecture.  A pipeline is built
+from a :class:`~repro.api.spec.RunSpec`, resolves each name through its
+registry, validates that the axes compose, and then exposes the
+train / predict / suggest / rename workflow of the paper's PIGEON tool
+(Sec. 5.1) plus single-file model persistence::
+
+    from repro.api import Pipeline
+
+    pipeline = Pipeline(language="javascript")        # paths + CRF
+    pipeline.train(training_sources)
+    pipeline.predict(source)                          # element -> name
+    pipeline.suggest(source, k=5)                     # element -> top-k
+    pipeline.save("model.json")
+    ...
+    Pipeline.load("model.json").predict(source)       # identical output
+
+Baselines are the same one-line change the paper describes::
+
+    Pipeline(language="javascript", learner="word2vec",
+             representation="token-context")          # Table 3, row 1
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..lang.base import languages, parse_source
+from .learners import learners
+from .protocols import (
+    GRAPH_VIEW,
+    Learner,
+    LearnerStats,
+    ParsedProgram,
+    Representation,
+    Task,
+    UnsupportedSpecError,
+)
+from .representations import representations
+from .spec import RunSpec
+from .tasks import tasks
+
+#: On-disk format tag for saved pipelines.
+PIPELINE_FORMAT = "pigeon-pipeline/1"
+
+
+@dataclass
+class PipelineStats:
+    """Summary of one training run."""
+
+    files_trained: int = 0
+    elements_trained: int = 0
+    parameters: int = 0
+    train_seconds: float = 0.0
+
+
+class Pipeline:
+    """Train-and-predict facade for one registry cell."""
+
+    def __init__(self, spec: Optional[RunSpec] = None, /, **spec_kwargs) -> None:
+        if spec is None:
+            spec = RunSpec(**spec_kwargs)
+        elif spec_kwargs:
+            raise TypeError("pass either a RunSpec or keyword fields, not both")
+        self.spec = spec
+
+        languages.get(spec.language)  # raises UnknownPluginError with the known list
+        self.task: Task = tasks.create(spec.task)
+        representation_cls = representations.get(spec.representation)
+        learner_cls = learners.get(spec.learner)
+        self._validate(representation_cls, learner_cls)
+
+        extraction = dict(spec.extraction)
+        default_length, default_width = self.task.default_params(spec.language)
+        extraction.setdefault("max_length", default_length)
+        extraction.setdefault("max_width", default_width)
+        self.representation: Representation = representation_cls(extraction)
+        self.learner: Learner = learner_cls(spec)
+        self.stats = PipelineStats()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self, representation_cls, learner_cls) -> None:
+        spec = self.spec
+        if self.task.languages is not None and spec.language not in self.task.languages:
+            raise UnsupportedSpecError(
+                f"task {spec.task!r} supports languages {self.task.languages}; "
+                f"got {spec.language!r}"
+            )
+        view = learner_cls.consumes
+        if view not in representation_cls.provides:
+            raise UnsupportedSpecError(
+                f"learner {spec.learner!r} consumes the {view!r} view, but "
+                f"representation {spec.representation!r} provides {representation_cls.provides}"
+            )
+        if view not in self.task.views:
+            raise UnsupportedSpecError(
+                f"learner {spec.learner!r} consumes the {view!r} view, but "
+                f"task {spec.task!r} supports {self.task.views}"
+            )
+        supported_tasks = getattr(representation_cls, "tasks", None)
+        if supported_tasks is not None and spec.task not in supported_tasks:
+            raise UnsupportedSpecError(
+                f"representation {spec.representation!r} supports tasks "
+                f"{supported_tasks}; got {spec.task!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def parse(self, source: str, name: str = "") -> ParsedProgram:
+        """Parse one source text with the spec's language frontend."""
+        return ParsedProgram(
+            language=self.spec.language,
+            source=source,
+            ast=parse_source(self.spec.language, source),
+            name=name,
+        )
+
+    def view(self, program: ParsedProgram):
+        """The feature view of one program that this cell's learner consumes."""
+        if self.learner.consumes == GRAPH_VIEW:
+            return self.representation.graph(self.task, program, name=program.name)
+        return self.representation.contexts(self.task, program)
+
+    def fit_views(self, views: Sequence) -> LearnerStats:
+        """Fit the learner on pre-built views (used by the eval harness)."""
+        return self.learner.fit(list(views))
+
+    # ------------------------------------------------------------------
+    # The PIGEON workflow
+    # ------------------------------------------------------------------
+    def train(self, sources: Sequence[str]) -> PipelineStats:
+        """Train from a list of source texts with their original labels."""
+        programs = [self.parse(source, name=f"train:{i}") for i, source in enumerate(sources)]
+        views = [self.view(program) for program in programs]
+        learner_stats = self.learner.fit(views)
+        self.stats = PipelineStats(
+            files_trained=len(programs),
+            elements_trained=sum(len(view) for view in views),
+            parameters=learner_stats.parameters,
+            train_seconds=learner_stats.train_seconds,
+        )
+        return self.stats
+
+    def predict(self, source: str) -> Dict[str, str]:
+        """element key -> predicted label for one program."""
+        return self.learner.predict(self.view(self.parse(source)))
+
+    def suggest(self, source: str, k: int = 5) -> Dict[str, List[Tuple[str, float]]]:
+        """element key -> top-k (label, score) suggestions."""
+        return self.learner.suggest(self.view(self.parse(source)), k=k)
+
+    def rename(self, source: str) -> str:
+        """Predict names and return the renamed program text.
+
+        The paper's deobfuscation workflow (Figs. 7-8): predict a name
+        for every renameable element, substitute the predictions on the
+        tree, and print it back.  Available for renameable tasks in the
+        languages with a source printer (JavaScript, Python).
+        """
+        from ..lang.printing import apply_renaming, print_source
+
+        if not getattr(self.task, "renameable", False):
+            raise UnsupportedSpecError(
+                f"rename() applies to renameable tasks, not {self.spec.task!r}"
+            )
+        predictions = self.predict(source)
+        program = self.parse(source)
+        apply_renaming(program.ast, predictions)
+        return print_source(program.ast)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist spec + trained learner state to one JSON file."""
+        if not self.learner.trained:
+            raise RuntimeError("call train() before save()")
+        payload = {
+            "format": PIPELINE_FORMAT,
+            "spec": self.spec.to_dict(),
+            "learner_state": self.learner.state_dict(),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "Pipeline":
+        """Rebuild a trained pipeline saved by :meth:`save`.
+
+        The reloaded pipeline produces bit-identical predictions and
+        suggestion scores.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        fmt = payload.get("format")
+        if fmt != PIPELINE_FORMAT:
+            raise ValueError(
+                f"{path!r} is not a saved pipeline (format {fmt!r}; "
+                f"expected {PIPELINE_FORMAT!r})"
+            )
+        pipeline = cls(RunSpec.from_dict(payload["spec"]))
+        pipeline.learner.load_state(payload["learner_state"])
+        return pipeline

@@ -1,0 +1,64 @@
+"""The serializable description of one pipeline configuration.
+
+A :class:`RunSpec` is the paper's "one cell of the cross product": a
+(language, task, representation, learner) choice plus the per-axis
+option dictionaries.  It is plain data -- every field survives
+``RunSpec.from_dict(spec.to_dict())`` unchanged -- so specs can live in
+JSON files, CLI flags, experiment matrices and saved models alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class RunSpec:
+    """Configuration of one (language, task, representation, learner) cell.
+
+    ``extraction`` holds representation options: the
+    :class:`~repro.core.extraction.ExtractionConfig` fields
+    (``max_length``, ``max_width``, ``abstraction``, ...) for path-based
+    representations, ``window`` for the token-stream baseline.  Absent
+    ``max_length``/``max_width`` default to the task's tuned values for
+    the language (Table 2).  ``training`` and ``sgns`` override fields of
+    :class:`~repro.learning.crf.training.TrainingConfig` and
+    :class:`~repro.learning.word2vec.sgns.SgnsConfig` respectively.
+    """
+
+    language: str
+    task: str = "variable_naming"
+    representation: str = "ast-paths"
+    learner: str = "crf"
+    extraction: Dict[str, Any] = field(default_factory=dict)
+    training: Dict[str, Any] = field(default_factory=dict)
+    sgns: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {
+            "language": self.language,
+            "task": self.task,
+            "representation": self.representation,
+            "learner": self.learner,
+            "extraction": dict(self.extraction),
+            "training": dict(self.training),
+            "sgns": dict(self.sgns),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (missing keys keep
+        their defaults, so hand-written JSON can stay short)."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    def cell(self) -> str:
+        """The human-readable cell name used in reports and errors."""
+        return f"{self.language}/{self.task}/{self.representation}/{self.learner}"

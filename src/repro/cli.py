@@ -2,26 +2,34 @@
 
 Usage::
 
-    python -m repro.cli paths <file>            # print path-contexts
-    python -m repro.cli rename <file> [...]     # deobfuscate (train on a
-                                                # generated corpus first)
-    python -m repro.cli experiment <language>   # run a mini experiment
-    python -m repro.cli languages               # list supported languages
+    python -m repro.cli languages [--json]        # supported languages
+    python -m repro.cli cells [--json]            # valid registry cells
+    python -m repro.cli paths <file>              # print path-contexts
+    python -m repro.cli train --model m.json ...  # train + save a pipeline
+    python -m repro.cli predict --model m.json <file> [--top K]
+    python -m repro.cli rename <file> [...]       # deobfuscate (trains on a
+                                                  # generated corpus first)
+    python -m repro.cli experiment <language>     # run a mini experiment
 
-The CLI is a thin veneer over :class:`repro.Pigeon` and the experiment
-harness; anything it does is available programmatically.
+The CLI is a thin veneer over :class:`repro.api.Pipeline` and the
+experiment harness; anything it does is available programmatically.
+``train`` and ``predict`` emit JSON on stdout so the commands compose
+with tooling.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
-from . import ExtractionConfig, PathExtractor, Pigeon, parse_source, supported_languages
+from . import ExtractionConfig, PathExtractor, parse_source, supported_languages
+from .api import Pipeline, RunSpec
 from .corpus import deduplicate, generate_corpus
 from .corpus.generator import CorpusConfig
-from .eval.harness import evaluate_crf, path_graph_builder, prepare_language_data
+from .eval.harness import compatible_specs, evaluate_crf, path_graph_builder, prepare_language_data
 from .learning.crf import TrainingConfig
 
 _EXTENSION_LANGUAGES = {
@@ -35,25 +43,46 @@ _EXTENSION_LANGUAGES = {
 def _guess_language(path: str, explicit: Optional[str]) -> str:
     if explicit:
         return explicit
-    for extension, language in _EXTENSION_LANGUAGES.items():
-        if path.endswith(extension):
-            return language
-    raise SystemExit(
-        f"cannot infer language of {path!r}; pass --language explicitly"
+    extension = os.path.splitext(path)[1]
+    language = _EXTENSION_LANGUAGES.get(extension)
+    if language is None:
+        raise SystemExit(
+            f"cannot infer language of {path!r}; pass --language explicitly"
+        )
+    return language
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_languages(args: argparse.Namespace) -> int:
+    names = supported_languages()
+    if args.json:
+        print(json.dumps(list(names)))
+    else:
+        for language in names:
+            print(language)
+    return 0
+
+
+def cmd_cells(args: argparse.Namespace) -> int:
+    specs = compatible_specs(
+        languages=[args.language] if args.language else None,
+        tasks=[args.task] if args.task else None,
     )
-
-
-def cmd_languages(_args: argparse.Namespace) -> int:
-    for language in supported_languages():
-        print(language)
+    if args.json:
+        print(json.dumps([spec.to_dict() for spec in specs], indent=2))
+    else:
+        for spec in specs:
+            print(spec.cell())
     return 0
 
 
 def cmd_paths(args: argparse.Namespace) -> int:
     language = _guess_language(args.file, args.language)
-    with open(args.file, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    ast = parse_source(language, source)
+    ast = parse_source(language, _read(args.file))
     extractor = PathExtractor(
         ExtractionConfig(
             max_length=args.max_length,
@@ -66,6 +95,70 @@ def cmd_paths(args: argparse.Namespace) -> int:
     return 0
 
 
+def _training_sources(args: argparse.Namespace, language: str) -> List[str]:
+    if args.files:
+        return [_read(path) for path in args.files]
+    print(f"Training on a generated {language} corpus...", file=sys.stderr)
+    files = generate_corpus(
+        CorpusConfig(language=language, n_projects=args.projects, seed=args.seed)
+    )
+    kept, _removed = deduplicate(files)
+    return [f.source for f in kept]
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    extraction = {}
+    if args.max_length is not None:
+        extraction["max_length"] = args.max_length
+    if args.max_width is not None:
+        extraction["max_width"] = args.max_width
+    # --epochs lands in both option dicts; each learner reads its own
+    # (crf -> training, word2vec -> sgns, third-party -> its choice).
+    spec = RunSpec(
+        language=args.language,
+        task=args.task,
+        representation=args.representation,
+        learner=args.learner,
+        extraction=extraction,
+        training={"epochs": args.epochs},
+        sgns={"epochs": args.epochs},
+    )
+    pipeline = Pipeline(spec)
+    stats = pipeline.train(_training_sources(args, args.language))
+    pipeline.save(args.model)
+    print(
+        json.dumps(
+            {
+                "model": args.model,
+                "spec": spec.to_dict(),
+                "files_trained": stats.files_trained,
+                "elements_trained": stats.elements_trained,
+                "parameters": stats.parameters,
+                "train_seconds": round(stats.train_seconds, 3),
+            }
+        )
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    pipeline = Pipeline.load(args.model)
+    source = _read(args.file)
+    result = {
+        "file": args.file,
+        "cell": pipeline.spec.cell(),
+    }
+    if args.top:
+        result["suggestions"] = {
+            key: [[label, score] for label, score in ranked]
+            for key, ranked in pipeline.suggest(source, k=args.top).items()
+        }
+    else:
+        result["predictions"] = pipeline.predict(source)
+    print(json.dumps(result, indent=2))
+    return 0
+
+
 def cmd_rename(args: argparse.Namespace) -> int:
     language = _guess_language(args.file, args.language)
     if language not in ("javascript", "python"):
@@ -75,14 +168,11 @@ def cmd_rename(args: argparse.Namespace) -> int:
         CorpusConfig(language=language, n_projects=args.projects, seed=args.seed)
     )
     kept, _removed = deduplicate(files)
-    pigeon = Pigeon(
-        language=language,
-        training_config=TrainingConfig(epochs=args.epochs),
+    pipeline = Pipeline(
+        RunSpec(language=language, training={"epochs": args.epochs})
     )
-    pigeon.train([f.source for f in kept])
-    with open(args.file, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    print(pigeon.rename(source))
+    pipeline.train([f.source for f in kept])
+    print(pipeline.rename(_read(args.file)))
     return 0
 
 
@@ -110,9 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="pigeon", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("languages", help="list supported languages").set_defaults(
-        func=cmd_languages
+    languages = sub.add_parser("languages", help="list supported languages")
+    languages.add_argument("--json", action="store_true", help="emit a JSON array")
+    languages.set_defaults(func=cmd_languages)
+
+    cells = sub.add_parser(
+        "cells", help="list every valid (language, task, representation, learner) cell"
     )
+    cells.add_argument("--language", default=None)
+    cells.add_argument("--task", default=None)
+    cells.add_argument("--json", action="store_true", help="emit full RunSpec JSON")
+    cells.set_defaults(func=cmd_cells)
 
     paths = sub.add_parser("paths", help="print path-contexts of a file")
     paths.add_argument("file")
@@ -121,6 +219,26 @@ def build_parser() -> argparse.ArgumentParser:
     paths.add_argument("--max-width", type=int, default=3)
     paths.add_argument("--semi-paths", action="store_true")
     paths.set_defaults(func=cmd_paths)
+
+    train = sub.add_parser("train", help="train a pipeline and save it to a model file")
+    train.add_argument("files", nargs="*", help="training files (default: generated corpus)")
+    train.add_argument("--model", required=True, help="output model file (JSON)")
+    train.add_argument("--language", required=True, choices=supported_languages())
+    train.add_argument("--task", default="variable_naming")
+    train.add_argument("--representation", default="ast-paths")
+    train.add_argument("--learner", default="crf")
+    train.add_argument("--max-length", type=int, default=None)
+    train.add_argument("--max-width", type=int, default=None)
+    train.add_argument("--projects", type=int, default=16)
+    train.add_argument("--epochs", type=int, default=5)
+    train.add_argument("--seed", type=int, default=8)
+    train.set_defaults(func=cmd_train)
+
+    predict = sub.add_parser("predict", help="predict with a saved model, emit JSON")
+    predict.add_argument("file")
+    predict.add_argument("--model", required=True, help="model file from 'train'")
+    predict.add_argument("--top", type=int, default=0, help="emit top-K suggestions")
+    predict.set_defaults(func=cmd_predict)
 
     rename = sub.add_parser("rename", help="predict names and print renamed source")
     rename.add_argument("file")
@@ -143,9 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .api import UnsupportedSpecError
+    from .registry import UnknownPluginError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (UnknownPluginError, UnsupportedSpecError, OSError, ValueError) as error:
+        # Configuration and file errors are user mistakes, not crashes:
+        # surface the one-line message (which lists known plugin names),
+        # not a traceback.
+        raise SystemExit(f"error: {error}") from error
 
 
 if __name__ == "__main__":

@@ -1,9 +1,10 @@
 """PIGEON: the cross-language tool of the paper (Sec. 5.1).
 
-A high-level facade over the whole library: parse programs of any
-supported language, represent program elements with AST paths, train a
-CRF or word2vec model, and predict names (or types) for new programs --
-including top-k suggestions.
+.. deprecated:: kept as a thin back-compat shim.  :class:`Pigeon` now
+   delegates to :class:`repro.api.Pipeline`, the registry-driven facade
+   that also reaches the baseline representations and persists trained
+   models; new code should build a :class:`~repro.api.RunSpec` and use
+   the pipeline directly.
 
 Typical use::
 
@@ -17,44 +18,28 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..lang.base import parse_source, supported_languages
-from ..learning.crf import CrfModel, CrfTrainer, TrainingConfig
-from ..learning.crf.inference import map_inference, topk_for_node
-from ..learning.word2vec import ContextPredictor, SgnsConfig, train_sgns
-from ..tasks.method_naming import build_method_graph
-from ..tasks.type_prediction import build_type_graph
-from ..tasks.variable_naming import build_crf_graph, element_contexts
-from .extraction import ExtractionConfig, PathExtractor
+from ..api import Pipeline, PipelineStats, RunSpec
+from ..api.tasks import DEFAULT_PARAMS  # noqa: F401  (re-exported for back-compat)
+from ..learning.crf import CrfModel, TrainingConfig
+from ..learning.word2vec import ContextPredictor, SgnsConfig
 
 TASKS = ("variable_naming", "method_naming", "type_prediction")
 LEARNERS = ("crf", "word2vec")
 
-#: Tuned (max_length, max_width) per language and task (Table 2).
-DEFAULT_PARAMS: Dict[Tuple[str, str], Tuple[int, int]] = {
-    ("javascript", "variable_naming"): (7, 3),
-    ("java", "variable_naming"): (6, 3),
-    ("python", "variable_naming"): (7, 4),
-    ("csharp", "variable_naming"): (7, 4),
-    ("javascript", "method_naming"): (12, 4),
-    ("java", "method_naming"): (6, 2),
-    ("python", "method_naming"): (10, 6),
-    ("java", "type_prediction"): (4, 1),
-}
-
-
-@dataclass
-class PigeonStats:
-    files_trained: int = 0
-    elements_trained: int = 0
-    parameters: int = 0
-    train_seconds: float = 0.0
+#: Back-compat alias; training statistics now live on the pipeline.
+PigeonStats = PipelineStats
 
 
 class Pigeon:
-    """Train-and-predict facade for one (language, task, learner)."""
+    """Train-and-predict facade for one (language, task, learner).
+
+    A shim over :class:`repro.api.Pipeline` pinned to the ``ast-paths``
+    representation, preserving the original constructor and the
+    ``extractor`` / ``crf_model`` / ``w2v_predictor`` attributes.
+    """
 
     def __init__(
         self,
@@ -67,132 +52,75 @@ class Pigeon:
         training_config: Optional[TrainingConfig] = None,
         sgns_config: Optional[SgnsConfig] = None,
     ) -> None:
-        if language not in supported_languages():
-            raise ValueError(
-                f"unsupported language {language!r}; supported: {supported_languages()}"
-            )
-        if task not in TASKS:
-            raise ValueError(f"unsupported task {task!r}; supported: {TASKS}")
-        if learner not in LEARNERS:
-            raise ValueError(f"unsupported learner {learner!r}; supported: {LEARNERS}")
-        if task != "variable_naming" and learner == "word2vec":
-            raise ValueError("the word2vec learner is wired for variable naming")
-        if task == "type_prediction" and language != "java":
-            raise ValueError("full-type prediction is implemented for Java")
-
+        extraction: Dict[str, object] = {"abstraction": abstraction}
+        if max_length is not None:
+            extraction["max_length"] = max_length
+        if max_width is not None:
+            extraction["max_width"] = max_width
+        spec = RunSpec(
+            language=language,
+            task=task,
+            representation="ast-paths",
+            learner=learner,
+            extraction=extraction,
+            training=asdict(training_config) if training_config is not None else {},
+            sgns=asdict(sgns_config) if sgns_config is not None else {},
+        )
+        self.pipeline = Pipeline(spec)
         self.language = language
         self.task = task
         self.learner = learner
-        default_len, default_width = DEFAULT_PARAMS.get(
-            (language, task), (7, 3)
-        )
-        self.extractor = PathExtractor(
-            ExtractionConfig(
-                max_length=max_length if max_length is not None else default_len,
-                max_width=max_width if max_width is not None else default_width,
-                abstraction=abstraction,
-            )
-        )
         self.training_config = training_config or TrainingConfig()
         self.sgns_config = sgns_config or SgnsConfig()
-        self.crf_model: Optional[CrfModel] = None
-        self.w2v_predictor: Optional[ContextPredictor] = None
-        self.stats = PigeonStats()
 
     # ------------------------------------------------------------------
-    def _build_graph(self, source: str, name: str = ""):
-        ast = parse_source(self.language, source)
-        if self.task == "variable_naming":
-            return build_crf_graph(ast, self.extractor, name)
-        if self.task == "method_naming":
-            return build_method_graph(ast, self.extractor, name)
-        return build_type_graph(ast, self.extractor, name)
+    # Back-compat attribute surface
+    # ------------------------------------------------------------------
+    @property
+    def extractor(self):
+        return self.pipeline.representation.extractor
+
+    @extractor.setter
+    def extractor(self, value) -> None:
+        self.pipeline.representation.extractor = value
+
+    @property
+    def stats(self) -> PipelineStats:
+        return self.pipeline.stats
+
+    @stats.setter
+    def stats(self, value: PipelineStats) -> None:
+        self.pipeline.stats = value
+
+    @property
+    def crf_model(self) -> Optional[CrfModel]:
+        return getattr(self.pipeline.learner, "model", None)
+
+    @crf_model.setter
+    def crf_model(self, value: Optional[CrfModel]) -> None:
+        self.pipeline.learner.model = value
+
+    @property
+    def w2v_predictor(self) -> Optional[ContextPredictor]:
+        return getattr(self.pipeline.learner, "predictor", None)
+
+    @w2v_predictor.setter
+    def w2v_predictor(self, value: Optional[ContextPredictor]) -> None:
+        self.pipeline.learner.predictor = value
 
     # ------------------------------------------------------------------
-    def train(self, sources: Sequence[str]) -> PigeonStats:
+    def train(self, sources: Sequence[str]) -> PipelineStats:
         """Train from a list of source texts with their original names."""
-        if self.learner == "crf":
-            graphs = [self._build_graph(src, f"train:{i}") for i, src in enumerate(sources)]
-            model, stats = CrfTrainer(self.training_config).train(graphs)
-            self.crf_model = model
-            self.stats = PigeonStats(
-                files_trained=len(sources),
-                elements_trained=sum(len(g) for g in graphs),
-                parameters=stats.parameters,
-                train_seconds=stats.train_seconds,
-            )
-            return self.stats
+        return self.pipeline.train(sources)
 
-        pairs: List[Tuple[str, str]] = []
-        elements = 0
-        for source in sources:
-            ast = parse_source(self.language, source)
-            for _binding, (gold, tokens) in element_contexts(ast, self.extractor).items():
-                elements += 1
-                for token in tokens:
-                    pairs.append((gold, token))
-        model, stats = train_sgns(pairs, self.sgns_config)
-        self.w2v_predictor = ContextPredictor(model)
-        self.stats = PigeonStats(
-            files_trained=len(sources),
-            elements_trained=elements,
-            parameters=len(model.words) * model.dim + len(model.contexts) * model.dim,
-            train_seconds=stats.train_seconds,
-        )
-        return self.stats
-
-    # ------------------------------------------------------------------
     def predict(self, source: str) -> Dict[str, str]:
         """element key -> predicted label for one program."""
-        self._require_trained()
-        if self.learner == "crf":
-            graph = self._build_graph(source)
-            assignment = map_inference(self.crf_model, graph)
-            return {node.key: assignment[i] for i, node in enumerate(graph.unknowns)}
-        ast = parse_source(self.language, source)
-        out: Dict[str, str] = {}
-        for binding, (_gold, tokens) in element_contexts(ast, self.extractor).items():
-            prediction = self.w2v_predictor.predict(tokens)
-            if prediction is not None:
-                out[binding] = prediction
-        return out
+        return self.pipeline.predict(source)
 
     def suggest(self, source: str, k: int = 5) -> Dict[str, List[Tuple[str, float]]]:
         """element key -> top-k (label, score) suggestions."""
-        self._require_trained()
-        if self.learner == "crf":
-            graph = self._build_graph(source)
-            assignment = map_inference(self.crf_model, graph)
-            return {
-                node.key: topk_for_node(self.crf_model, graph, i, k=k, assignment=assignment)
-                for i, node in enumerate(graph.unknowns)
-            }
-        ast = parse_source(self.language, source)
-        out: Dict[str, List[Tuple[str, float]]] = {}
-        for binding, (_gold, tokens) in element_contexts(ast, self.extractor).items():
-            out[binding] = self.w2v_predictor.predict_topk(tokens, k=k)
-        return out
+        return self.pipeline.suggest(source, k=k)
 
     def rename(self, source: str) -> str:
-        """Predict names and return the renamed program text.
-
-        The paper's deobfuscation workflow (Figs. 7-8): parse the stripped
-        program, predict a name for every renameable element, substitute
-        the predictions on the tree, and print it back.  Available for the
-        languages with a source printer (JavaScript, Python).
-        """
-        from ..lang.printing import apply_renaming, print_source
-
-        self._require_trained()
-        if self.task != "variable_naming":
-            raise ValueError("rename() applies to the variable-naming task")
-        predictions = self.predict(source)
-        ast = parse_source(self.language, source)
-        apply_renaming(ast, predictions)
-        return print_source(ast)
-
-    def _require_trained(self) -> None:
-        if self.learner == "crf" and self.crf_model is None:
-            raise RuntimeError("call train() before predict()")
-        if self.learner == "word2vec" and self.w2v_predictor is None:
-            raise RuntimeError("call train() before predict()")
+        """Predict names and return the renamed program text (Figs. 7-8)."""
+        return self.pipeline.rename(source)

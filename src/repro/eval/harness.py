@@ -1,24 +1,37 @@
 """Experiment harness: the machinery behind every table and figure.
 
-Orchestrates corpus generation, parsing, graph building, training and
-evaluation for each (language, task, representation, learner) cell, plus
-the parameter sweeps of Figs. 10-12.  All entry points are deterministic
-under their seeds, so the benchmark suite reproduces identical numbers
-across runs.
+Orchestrates corpus generation, parsing, training and evaluation for
+each (language, task, representation, learner) cell, plus the parameter
+sweeps of Figs. 10-12.  All entry points are deterministic under their
+seeds, so the benchmark suite reproduces identical numbers across runs.
+
+Cells are enumerated from the plugin registries
+(:func:`compatible_specs`) and evaluated through the same
+:class:`~repro.api.Pipeline` the public API uses
+(:func:`evaluate_spec`), so a newly registered language, task,
+representation or learner joins the experiment matrix without touching
+this module.  The lower half of the module keeps the callable-based
+engine (:func:`evaluate_crf` / :func:`evaluate_w2v`) that the parameter
+sweeps and ablations drive with custom builders.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from itertools import product
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..api import ParsedProgram, Pipeline, RunSpec, UnsupportedSpecError
+from ..api.learners import learners as learner_registry
+from ..api.representations import representations as representation_registry
+from ..api.tasks import tasks as task_registry
 from ..core.ast_model import Ast
 from ..core.extraction import ExtractionConfig, PathExtractor
 from ..corpus import deduplicate, generate_corpus, split_corpus
 from ..corpus.generator import CorpusConfig, CorpusFile
 from ..corpus.splits import CorpusSplit
-from ..lang.base import parse_source
+from ..lang.base import parse_source, supported_languages
 from ..learning.crf import CrfModel, CrfTrainer, TrainingConfig
 from ..learning.crf.graph import CrfGraph
 from ..learning.crf.inference import map_inference
@@ -91,6 +104,128 @@ def prepare_language_data(
     split = split_corpus(kept, seed=split_seed)
     asts = {f.path: parse_source(language, f.source) for f in kept}
     return PreparedData(language=language, split=split, asts=asts, removed_duplicates=removed)
+
+
+# ----------------------------------------------------------------------
+# Registry-driven cells
+# ----------------------------------------------------------------------
+
+
+def compatible_specs(
+    languages: Optional[Iterable[str]] = None,
+    tasks: Optional[Iterable[str]] = None,
+    representations: Optional[Iterable[str]] = None,
+    learners: Optional[Iterable[str]] = None,
+    **spec_fields,
+) -> List[RunSpec]:
+    """Every valid (language, task, representation, learner) cell.
+
+    Each axis defaults to *everything currently registered*, so plugins
+    added by user code appear in the matrix automatically.  Invalid
+    combinations (a Java-only task under Python, a contexts-only
+    representation with a graph learner, ...) are filtered by the same
+    validation :class:`~repro.api.Pipeline` applies.  Extra keyword
+    arguments (``extraction=...``, ``training=...``) are copied into
+    every spec.
+    """
+    cells = []
+    for language, task, representation, learner in product(
+        tuple(languages) if languages is not None else supported_languages(),
+        tuple(tasks) if tasks is not None else task_registry.names(),
+        tuple(representations) if representations is not None else representation_registry.names(),
+        tuple(learners) if learners is not None else learner_registry.names(),
+    ):
+        spec = RunSpec(
+            language=language,
+            task=task,
+            representation=representation,
+            learner=learner,
+            **{k: dict(v) for k, v in spec_fields.items()},
+        )
+        try:
+            Pipeline(spec)
+        except UnsupportedSpecError:
+            continue
+        cells.append(spec)
+    return cells
+
+
+def _programs(language: str, pairs: Sequence[Tuple[CorpusFile, Ast]]) -> List[ParsedProgram]:
+    return [
+        ParsedProgram(language=language, source=f.source, ast=ast, name=f.path)
+        for f, ast in pairs
+    ]
+
+
+def _view_gold(view) -> Dict[str, str]:
+    """element key -> gold label, for either feature view."""
+    if isinstance(view, CrfGraph):
+        return {node.key: node.gold for node in view.unknowns}
+    return {key: gold for key, (gold, _tokens) in view.items()}
+
+
+def evaluate_spec(
+    spec: RunSpec,
+    data: PreparedData,
+    name: Optional[str] = None,
+    with_f1: bool = False,
+    eval_files: Optional[Sequence[CorpusFile]] = None,
+) -> ExperimentResult:
+    """Train and evaluate one registry cell on a prepared corpus.
+
+    The generic replacement for per-cell glue: builds the cell's
+    :class:`~repro.api.Pipeline`, trains it on ``data.train``, and
+    scores exact match (optionally subtoken F1) on ``data.test`` (or
+    ``eval_files``).
+    """
+    if spec.language != data.language:
+        raise ValueError(
+            f"spec is for language {spec.language!r} but data is {data.language!r}"
+        )
+    pipeline = Pipeline(spec)
+
+    t0 = time.perf_counter()
+    train_views = [pipeline.view(p) for p in _programs(spec.language, data.train)]
+    eval_pairs = data.pairs(eval_files) if eval_files is not None else data.test
+    test_views = [pipeline.view(p) for p in _programs(spec.language, eval_pairs)]
+    extract_seconds = time.perf_counter() - t0
+
+    learner_stats = pipeline.fit_views(train_views)
+
+    t0 = time.perf_counter()
+    accuracy = AccuracyCounter()
+    f1 = SubtokenF1Counter()
+    for view in test_views:
+        predictions = pipeline.learner.predict(view)
+        for key, gold in _view_gold(view).items():
+            accuracy.add(predictions.get(key), gold)
+            if with_f1:
+                f1.add(predictions.get(key), gold)
+    predict_seconds = time.perf_counter() - t0
+
+    return ExperimentResult(
+        name=name or spec.cell(),
+        accuracy=accuracy.as_percent(),
+        n=accuracy.total,
+        f1=100.0 * f1.f1 if with_f1 else 0.0,
+        precision=100.0 * f1.precision if with_f1 else 0.0,
+        recall=100.0 * f1.recall if with_f1 else 0.0,
+        extract_seconds=extract_seconds,
+        train_seconds=learner_stats.train_seconds,
+        predict_seconds=predict_seconds,
+        parameters=learner_stats.parameters,
+    )
+
+
+def evaluate_cells(
+    specs: Iterable[RunSpec],
+    data: Mapping[str, PreparedData],
+    with_f1: bool = False,
+) -> List[ExperimentResult]:
+    """Evaluate a batch of cells; ``data`` maps language -> corpus."""
+    return [
+        evaluate_spec(spec, data[spec.language], with_f1=with_f1) for spec in specs
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -19,9 +19,10 @@ A frontend must:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Protocol
+from typing import Callable, Protocol
 
 from ..core.ast_model import Ast
+from ..registry import Registry
 
 
 class ParseError(ValueError):
@@ -43,28 +44,22 @@ class LanguageFrontend(Protocol):
         ...
 
 
-_REGISTRY: Dict[str, Callable[[], LanguageFrontend]] = {}
+#: The language extension point: name -> frontend factory.
+languages = Registry("language")
 
 
 def register_language(name: str, factory: Callable[[], LanguageFrontend]) -> None:
     """Register a frontend factory under a language name."""
-    _REGISTRY[name] = factory
+    languages.register(name, factory)
 
 
 def get_frontend(name: str) -> LanguageFrontend:
     """Instantiate the frontend for ``name`` (e.g. ``"javascript"``)."""
-    _ensure_builtin_registered()
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown language {name!r}; known: {known}") from None
-    return factory()
+    return languages.create(name)
 
 
 def supported_languages() -> tuple:
-    _ensure_builtin_registered()
-    return tuple(sorted(_REGISTRY))
+    return languages.names()
 
 
 def parse_source(language: str, source: str) -> Ast:
@@ -72,10 +67,8 @@ def parse_source(language: str, source: str) -> Ast:
     return get_frontend(language).parse(source)
 
 
-def _ensure_builtin_registered() -> None:
+def _register_builtins() -> None:
     """Import the built-in frontends on first use (avoids import cycles)."""
-    if _REGISTRY:
-        return
     from .javascript import JavaScriptFrontend
     from .java import JavaFrontend
     from .python_lang import PythonFrontend
@@ -85,3 +78,6 @@ def _ensure_builtin_registered() -> None:
     register_language("java", JavaFrontend)
     register_language("python", PythonFrontend)
     register_language("csharp", CSharpFrontend)
+
+
+languages.set_bootstrap(_register_builtins)

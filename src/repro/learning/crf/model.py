@@ -161,6 +161,15 @@ class CrfModel:
         return {
             "pair_weights": {"\x1f".join(k): v for k, v in self.pair_weights.items()},
             "unary_weights": {"\x1f".join(k): v for k, v in self.unary_weights.items()},
+            # Candidate indexes are part of inference (they bound the label
+            # beam), so they persist too -- a reloaded model must propose
+            # the same candidates in the same tie-break order.
+            "candidate_index": {
+                "\x1f".join(k): dict(v) for k, v in self.candidate_index.items()
+            },
+            "unary_candidate_index": {
+                k: dict(v) for k, v in self.unary_candidate_index.items()
+            },
             "label_counts": dict(self.label_counts),
             "use_unary": self.use_unary,
         }
@@ -174,6 +183,11 @@ class CrfModel:
         for key, value in data.get("unary_weights", {}).items():
             label, rel = key.split("\x1f")
             model.unary_weights[(label, rel)] = value
+        for key, counts in data.get("candidate_index", {}).items():
+            rel, other = key.split("\x1f")
+            model.candidate_index[(rel, other)].update(counts)
+        for rel, counts in data.get("unary_candidate_index", {}).items():
+            model.unary_candidate_index[rel].update(counts)
         model.label_counts.update(data.get("label_counts", {}))
         return model
 

@@ -1,0 +1,137 @@
+"""Generic named plugin registries: PIGEON's extension points.
+
+The paper's central claim (Sec. 5.1) is that the approach is
+cross-language and cross-task *by construction*: languages, tasks,
+representations and learners are independent axes, and any cell of the
+cross product is one configuration away.  This module provides the
+mechanism that makes the claim true in code -- a small, uniform
+:class:`Registry` that each extension point instantiates:
+
+* ``repro.lang.base.languages`` -- language frontends;
+* ``repro.api.tasks.tasks`` -- prediction tasks;
+* ``repro.api.representations.representations`` -- program representations;
+* ``repro.api.learners.learners`` -- learning engines.
+
+Plugins register under a public name, either imperatively::
+
+    languages.register("kotlin", KotlinFrontend)
+
+or with the decorator form::
+
+    @representations.register("ast-paths")
+    class AstPathsRepresentation: ...
+
+Lookups of unknown names raise :class:`UnknownPluginError` listing every
+known name, so a typo in a config or CLI flag is a one-glance fix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class UnknownPluginError(KeyError, ValueError):
+    """An unregistered name was looked up in a registry.
+
+    Subclasses both :class:`KeyError` (registries are mappings) and
+    :class:`ValueError` (an unknown name in a :class:`~repro.api.RunSpec`
+    is an invalid configuration value), so callers can catch whichever
+    reads naturally at their call site.
+    """
+
+    def __init__(self, kind: str, name: str, known: Tuple[str, ...]) -> None:
+        known_list = ", ".join(known) if known else "(none registered)"
+        super().__init__(f"unknown {kind} {name!r}; known {kind}s: {known_list}")
+        self.kind = kind
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr-quote the message
+        return self.args[0]
+
+
+class Registry:
+    """A named collection of plugin factories for one extension point.
+
+    ``kind`` is the human-readable noun used in error messages
+    (``"language"``, ``"task"``, ...).  A registry may carry a *bootstrap*
+    hook that registers the built-in plugins on first lookup; deferring
+    the imports this way keeps plugin modules free to import the package
+    that owns the registry without cycles.
+    """
+
+    def __init__(self, kind: str, bootstrap: Optional[Callable[[], None]] = None) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+        self._bootstrap = bootstrap
+        self._booted = False
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: Any = None):
+        """Register ``obj`` under ``name``; with one argument, a decorator.
+
+        Re-registering a name replaces the previous entry, so user code
+        can override a built-in implementation.  Built-ins are forced in
+        first (the bootstrap runs now if it hasn't) so a user entry can
+        never be clobbered by a later lazy bootstrap.
+        """
+        self._ensure_booted()
+        if obj is None:
+
+            def decorator(target: T) -> T:
+                self._entries[name] = target
+                return target
+
+            return decorator
+        self._entries[name] = obj
+        return obj
+
+    def set_bootstrap(self, bootstrap: Callable[[], None]) -> None:
+        """Install the hook that registers built-ins on first lookup."""
+        self._bootstrap = bootstrap
+
+    # ------------------------------------------------------------------
+    def _ensure_booted(self) -> None:
+        if not self._booted and self._bootstrap is not None:
+            self._booted = True  # set first: the hook's imports re-enter us
+            try:
+                self._bootstrap()
+            except BaseException:
+                # A failed bootstrap (e.g. a frontend import error) must
+                # stay retryable, not leave a permanently empty registry.
+                self._booted = False
+                raise
+
+    def get(self, name: str) -> Any:
+        """The registered factory, or :class:`UnknownPluginError`."""
+        self._ensure_booted()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownPluginError(self.kind, name, self.names()) from None
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the factory registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        self._ensure_booted()
+        return tuple(sorted(self._entries))
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        self._ensure_booted()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_booted()
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self.names())})"

@@ -9,65 +9,14 @@ from repro.corpus.generator import CorpusConfig
 from repro.lang.base import parse_source
 
 
-FIG1_JS = """
-var d = false;
-while (!d) {
-  if (someCondition()) {
-    d = true;
-  }
-}
-"""
-
-FIG4_JS = "var item = array[i];"
-
-FIG5_JS = "var a, b, c, d;"
-
-COUNT_JAVA = """
-package com.example.app;
-import java.util.List;
-
-public class Counter {
-    private int total;
-
-    public int count(List<Integer> values, int value) {
-        int c = 0;
-        for (int r : values) {
-            if (r == value) {
-                c++;
-            }
-        }
-        return c;
-    }
-}
-"""
-
-SH3_PYTHON = '''
-def sh3(cmd):
-    process = popen(cmd)
-    retcode = process.returncode
-    if retcode:
-        raise CalledProcessError(retcode, cmd)
-    return retcode
-'''
-
-COUNT_CSHARP = """
-using System;
-using System.Collections.Generic;
-
-namespace Demo.App {
-    public class Counter {
-        public int Count(List<int> values, int value) {
-            int c = 0;
-            foreach (int r in values) {
-                if (r == value) {
-                    c++;
-                }
-            }
-            return c;
-        }
-    }
-}
-"""
+from fixtures import (  # noqa: F401  (re-exported for fixtures below)
+    COUNT_CSHARP,
+    COUNT_JAVA,
+    FIG1_JS,
+    FIG4_JS,
+    FIG5_JS,
+    SH3_PYTHON,
+)
 
 
 @pytest.fixture(scope="session")

@@ -18,7 +18,7 @@ from repro.core.abstractions import (
 from repro.core.paths import path_between
 from repro.lang.javascript import parse_js
 
-from conftest import FIG1_JS
+from fixtures import FIG1_JS
 
 
 @pytest.fixture(scope="module")

@@ -17,7 +17,7 @@ from repro.baselines import (
 from repro.lang.base import parse_source
 from repro.tasks.variable_naming import element_groups
 
-from conftest import COUNT_JAVA, FIG1_JS
+from fixtures import COUNT_JAVA, FIG1_JS
 
 
 class TestNoPaths:

@@ -1,10 +1,12 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _guess_language, build_parser, main
 
-from conftest import FIG1_JS
+from fixtures import FIG1_JS
 
 
 class TestLanguageGuessing:
@@ -83,3 +85,110 @@ class TestRenameCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "function f" in out
+
+
+class TestLanguageGuessingExtensions:
+    """os.path.splitext semantics: only a real extension matches."""
+
+    def test_composite_extension_does_not_misresolve(self):
+        # endswith(".js") used to resolve "foo.pyjs" to javascript.
+        with pytest.raises(SystemExit):
+            _guess_language("foo.pyjs", None)
+        with pytest.raises(SystemExit):
+            _guess_language("archive.tarjs", None)
+
+    def test_dotted_basenames_still_work(self):
+        assert _guess_language("pkg/mod.test.js", None) == "javascript"
+        assert _guess_language("a.b.py", None) == "python"
+
+
+class TestJsonOutputs:
+    def test_languages_json(self, capsys):
+        assert main(["languages", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == ["csharp", "java", "javascript", "python"]
+
+    def test_cells_lists_registry_cells(self, capsys):
+        assert main(["cells", "--language", "javascript"]) == 0
+        out = capsys.readouterr().out
+        assert "javascript/variable_naming/ast-paths/crf" in out
+        assert "javascript/variable_naming/token-context/word2vec" in out
+
+    def test_cells_json(self, capsys):
+        assert main(["cells", "--language", "java", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert all(spec["language"] == "java" for spec in data)
+        assert any(spec["task"] == "type_prediction" for spec in data)
+
+
+class TestTrainPredictCommands:
+    TRAIN = [
+        "function wait() { var done = false; while (!done) {"
+        " if (someCondition()) { done = true; } } }",
+        "function poll() { var done = false; while (!done) {"
+        " if (checkState()) { done = true; } } }",
+    ] * 4
+
+    def _train(self, tmp_path, capsys):
+        model = tmp_path / "model.json"
+        files = []
+        for i, source in enumerate(self.TRAIN):
+            path = tmp_path / f"train{i}.js"
+            path.write_text(source)
+            files.append(str(path))
+        code = main(
+            ["train", "--model", str(model), "--language", "javascript",
+             "--epochs", "3", *files]
+        )
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["files_trained"] == len(files)
+        assert stats["spec"]["learner"] == "crf"
+        return model
+
+    def test_train_then_predict_roundtrip(self, tmp_path, capsys):
+        model = self._train(tmp_path, capsys)
+        target = tmp_path / "test.js"
+        target.write_text(
+            "function run() { var d = false; while (!d) {"
+            " if (someCondition()) { d = true; } } }"
+        )
+        assert main(["predict", str(target), "--model", str(model)]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["cell"] == "javascript/variable_naming/ast-paths/crf"
+        assert list(result["predictions"].values()) == ["done"]
+
+    def test_predict_top_k(self, tmp_path, capsys):
+        model = self._train(tmp_path, capsys)
+        target = tmp_path / "test.js"
+        target.write_text(
+            "function run() { var d = false; while (!d) {"
+            " if (someCondition()) { d = true; } } }"
+        )
+        assert main(["predict", str(target), "--model", str(model), "--top", "3"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        ranked = list(result["suggestions"].values())[0]
+        assert ranked[0][0] == "done"
+        assert len(ranked) <= 3
+
+
+class TestCleanErrors:
+    """Plugin/config/file mistakes exit with one-line messages, not tracebacks."""
+
+    def test_unknown_plugin_name(self, capsys):
+        with pytest.raises(SystemExit, match="unknown task"):
+            main(["train", "--model", "m.json", "--language", "javascript",
+                  "--task", "typo"])
+
+    def test_incompatible_cell(self):
+        with pytest.raises(SystemExit, match="consumes the 'graph' view"):
+            main(["train", "--model", "m.json", "--language", "javascript",
+                  "--representation", "token-context"])
+
+    def test_missing_model_file(self):
+        with pytest.raises(SystemExit, match="No such file"):
+            main(["predict", "x.js", "--model", "does-not-exist.json"])
+
+    def test_unknown_cells_language(self):
+        with pytest.raises(SystemExit, match="unknown language"):
+            main(["cells", "--language", "go"])

@@ -9,7 +9,7 @@ from repro.core.extraction import (
 )
 from repro.lang.javascript import parse_js
 
-from conftest import FIG1_JS, FIG5_JS
+from fixtures import FIG1_JS, FIG5_JS
 
 
 class TestLimits:

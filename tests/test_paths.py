@@ -6,7 +6,7 @@ from repro.core.ast_model import Node
 from repro.core.paths import DOWN, UP, AstPath, NWisePath, path_between, semi_path
 from repro.lang.javascript import parse_js
 
-from conftest import FIG1_JS, FIG4_JS, FIG5_JS
+from fixtures import FIG1_JS, FIG4_JS, FIG5_JS
 
 
 class TestAstPathBasics:

@@ -11,7 +11,7 @@ from repro.lang.printing import (
     print_source,
 )
 
-from conftest import FIG1_JS, SH3_PYTHON
+from fixtures import FIG1_JS, SH3_PYTHON
 
 
 def structure_of(ast):

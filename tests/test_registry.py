@@ -1,0 +1,101 @@
+"""Unit tests for the generic plugin registry (repro.registry)."""
+
+import pytest
+
+from repro.lang.base import languages
+from repro.registry import Registry, UnknownPluginError
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        registry = Registry("widget")
+        registry.register("box", lambda: "a box")
+        assert registry.get("box")() == "a box"
+        assert registry.create("box") == "a box"
+
+    def test_decorator_registration(self):
+        registry = Registry("widget")
+
+        @registry.register("gadget")
+        class Gadget:
+            pass
+
+        assert registry.get("gadget") is Gadget
+        assert isinstance(registry.create("gadget"), Gadget)
+
+    def test_names_sorted(self):
+        registry = Registry("widget")
+        registry.register("zeta", object())
+        registry.register("alpha", object())
+        assert registry.names() == ("alpha", "zeta")
+
+    def test_contains_len_iter(self):
+        registry = Registry("widget")
+        registry.register("one", object())
+        assert "one" in registry and "two" not in registry
+        assert len(registry) == 1
+        assert list(registry) == ["one"]
+
+    def test_reregistering_overrides(self):
+        registry = Registry("widget")
+        registry.register("x", 1)
+        registry.register("x", 2)
+        assert registry.get("x") == 2
+
+    def test_bootstrap_runs_once_on_first_lookup(self):
+        calls = []
+        registry = Registry("widget")
+
+        def bootstrap():
+            calls.append(1)
+            registry.register("b", 7)
+
+        registry.set_bootstrap(bootstrap)
+        assert not calls  # lazy: nothing happens until a lookup
+        assert registry.get("b") == 7
+        registry.names()
+        assert calls == [1]
+
+    def test_user_registration_survives_bootstrap(self):
+        # Registering before the first lookup must not be clobbered when
+        # the lazy bootstrap later installs the built-in of the same name.
+        registry = Registry("widget")
+        registry.set_bootstrap(lambda: registry.register("x", "builtin"))
+        registry.register("x", "user override")
+        assert registry.get("x") == "user override"
+
+
+class TestUnknownPluginError:
+    def test_lists_known_names(self):
+        registry = Registry("widget")
+        registry.register("alpha", object())
+        registry.register("beta", object())
+        with pytest.raises(UnknownPluginError) as excinfo:
+            registry.get("gamma")
+        message = str(excinfo.value)
+        assert "unknown widget 'gamma'" in message
+        assert "alpha" in message and "beta" in message
+        assert excinfo.value.known == ("alpha", "beta")
+        assert excinfo.value.name == "gamma"
+
+    def test_is_both_keyerror_and_valueerror(self):
+        error = UnknownPluginError("widget", "x", ())
+        assert isinstance(error, KeyError)
+        assert isinstance(error, ValueError)
+
+    def test_empty_registry_message(self):
+        with pytest.raises(UnknownPluginError, match=r"\(none registered\)"):
+            Registry("widget").get("anything")
+
+
+class TestLanguageRegistry:
+    """The language extension point runs on the generic registry."""
+
+    def test_builtins_present(self):
+        assert languages.names() == ("csharp", "java", "javascript", "python")
+
+    def test_unknown_language_lists_known(self):
+        with pytest.raises(UnknownPluginError) as excinfo:
+            languages.get("fortran")
+        assert "javascript" in str(excinfo.value)
+        assert excinfo.value.kind == "language"

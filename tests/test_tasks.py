@@ -14,7 +14,7 @@ from repro.tasks.variable_naming import (
     extract_w2v_pairs,
 )
 
-from conftest import COUNT_JAVA, FIG1_JS
+from fixtures import COUNT_JAVA, FIG1_JS
 
 
 def extractor(**kw):
