@@ -18,10 +18,12 @@ from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from ..core.interning import FeatureSpace
 from ..learning.crf import CrfModel, CrfTrainer, TrainingConfig
 from ..learning.crf.graph import CrfGraph
 from ..learning.crf.inference import map_inference, topk_for_node
 from ..learning.word2vec import ContextPredictor, SgnsConfig, SgnsModel, train_sgns
+from ..learning.word2vec.sgns import restore_context_token
 from ..learning.word2vec.vocab import Vocabulary
 from ..registry import Registry
 from .protocols import CONTEXTS_VIEW, GRAPH_VIEW, ContextMap, LearnerStats
@@ -63,6 +65,11 @@ class CrfLearner(_LearnerBase):
     def trained(self) -> bool:
         return self.model is not None
 
+    @property
+    def space(self) -> Optional[FeatureSpace]:
+        """The trained model's feature space (None before training)."""
+        return self.model.space if self.model is not None else None
+
     def fit(self, views: Iterable[CrfGraph]) -> LearnerStats:
         model, stats = CrfTrainer(self.config).train(list(views))
         self.model = model
@@ -100,6 +107,16 @@ class Word2vecLearner(_LearnerBase):
         overrides = dict(spec.sgns) if spec is not None else {}
         self.config = SgnsConfig(**overrides)
         self.predictor: Optional[ContextPredictor] = None
+        #: Feature space behind interned context tokens (None for the
+        #: string-token representations); set by the owning Pipeline.
+        self._space: Optional[FeatureSpace] = None
+
+    def bind_space(self, space: Optional[FeatureSpace]) -> None:
+        self._space = space
+
+    @property
+    def space(self) -> Optional[FeatureSpace]:
+        return self._space
 
     @property
     def trained(self) -> bool:
@@ -139,19 +156,30 @@ class Word2vecLearner(_LearnerBase):
             "dim": model.dim,
             "words": list(model.words.id_to_token),
             "word_counts": [int(c) for c in model.words.counts],
-            "contexts": list(model.contexts.id_to_token),
+            # Context tokens are strings (token-stream baselines) or
+            # interned (rel_id, value_id) pairs; pairs serialize as JSON
+            # arrays and are restored as int tuples on load.
+            "contexts": [
+                list(t) if isinstance(t, tuple) else t
+                for t in model.contexts.id_to_token
+            ],
             "context_counts": [int(c) for c in model.contexts.counts],
             "word_vectors": model.word_vectors.tolist(),
             "context_vectors": model.context_vectors.tolist(),
+            "space": self._space.to_dict() if self._space is not None else None,
         }
 
     def load_state(self, state: dict) -> None:
+        space_data = state.get("space")
+        self._space = (
+            FeatureSpace.from_dict(space_data) if space_data is not None else None
+        )
         words = Vocabulary()
         for token, count in zip(state["words"], state["word_counts"]):
             words._add(str(token), int(count))
         contexts = Vocabulary()
         for token, count in zip(state["contexts"], state["context_counts"]):
-            contexts._add(str(token), int(count))
+            contexts._add(restore_context_token(token), int(count))
         dim = int(state["dim"])
         word_vectors = np.asarray(state["word_vectors"], dtype=np.float64).reshape(len(words), dim)
         context_vectors = np.asarray(state["context_vectors"], dtype=np.float64).reshape(len(contexts), dim)

@@ -45,8 +45,10 @@ from .representations import representations
 from .spec import RunSpec
 from .tasks import tasks
 
-#: On-disk format tag for saved pipelines.
-PIPELINE_FORMAT = "pigeon-pipeline/1"
+#: On-disk format tag for saved pipelines.  Version 2 switched learner
+#: state to interned integer feature keys with an embedded FeatureSpace
+#: (and tuple word2vec context tokens); version 1 files cannot be read.
+PIPELINE_FORMAT = "pigeon-pipeline/2"
 
 
 @dataclass
@@ -81,7 +83,23 @@ class Pipeline:
         extraction.setdefault("max_width", default_width)
         self.representation: Representation = representation_cls(extraction)
         self.learner: Learner = learner_cls(spec)
+        # Path-based representations intern features into a private
+        # FeatureSpace; the learner is told about it so its serialized
+        # state can carry the vocab (and so ids stay meaningful on load).
+        binder = getattr(self.learner, "bind_space", None)
+        if binder is not None:
+            binder(self.space)
         self.stats = PipelineStats()
+
+    @property
+    def space(self):
+        """The representation's feature space (None for string-token reps)."""
+        return getattr(self.representation, "space", None)
+
+    @property
+    def service(self):
+        """The representation's extraction service, when it has one."""
+        return getattr(self.representation, "service", None)
 
     # ------------------------------------------------------------------
     # Validation
@@ -201,6 +219,12 @@ class Pipeline:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         fmt = payload.get("format")
+        if fmt == "pigeon-pipeline/1":
+            raise ValueError(
+                f"{path!r} was saved by a pre-interning release "
+                f"(format {fmt!r}); retrain and re-save it with this "
+                f"version (expected {PIPELINE_FORMAT!r})"
+            )
         if fmt != PIPELINE_FORMAT:
             raise ValueError(
                 f"{path!r} is not a saved pipeline (format {fmt!r}; "
@@ -208,4 +232,11 @@ class Pipeline:
             )
         pipeline = cls(RunSpec.from_dict(payload["spec"]))
         pipeline.learner.load_state(payload["learner_state"])
+        # The learner state carries the feature space its int keys index
+        # into; the representation must intern new programs into the SAME
+        # space or predict-time ids would not match the trained weights.
+        space = getattr(pipeline.learner, "space", None)
+        rebind = getattr(pipeline.representation, "bind_space", None)
+        if space is not None and rebind is not None:
+            rebind(space)
         return pipeline

@@ -32,6 +32,8 @@ from typing import Any, Dict, Optional, Tuple
 from ..baselines.no_paths import no_paths_extractor
 from ..baselines.token_context import token_stream_contexts
 from ..core.extraction import ExtractionConfig, PathExtractor
+from ..core.interning import FeatureSpace
+from ..core.service import ExtractionService
 from ..learning.crf.graph import CrfGraph
 from ..registry import Registry
 from .protocols import (
@@ -57,20 +59,36 @@ def _extraction_config(extraction: Dict[str, Any], **forced: Any) -> ExtractionC
 
 @representations.register("ast-paths")
 class AstPathsRepresentation:
-    """AST path-contexts through a :class:`PathExtractor` (Sec. 4)."""
+    """AST path-contexts through a :class:`PathExtractor` (Sec. 4).
+
+    Each instance owns a private
+    :class:`~repro.core.interning.FeatureSpace` (so a pipeline's interned
+    ids are compact and deterministic) and routes extraction through an
+    :class:`~repro.core.service.ExtractionService`, so a program whose
+    graph and contexts views are both built extracts once.
+    """
 
     name = "ast-paths"
     provides: Tuple[str, ...] = (GRAPH_VIEW, CONTEXTS_VIEW)
     tasks: Optional[Tuple[str, ...]] = None
 
     def __init__(self, extraction: Optional[Dict[str, Any]] = None) -> None:
-        self.extractor = PathExtractor(_extraction_config(extraction or {}))
+        self.space = FeatureSpace()
+        self.extractor = PathExtractor(
+            _extraction_config(extraction or {}), space=self.space
+        )
+        self.service = ExtractionService(self.extractor)
+
+    def bind_space(self, space: FeatureSpace) -> None:
+        """Adopt a feature space (e.g. one restored by Pipeline.load)."""
+        self.space = space
+        self.service.bind_space(space)
 
     def graph(self, task: Task, program: ParsedProgram, name: str = "") -> CrfGraph:
-        return task.build_graph(program, self.extractor, name or program.name)
+        return task.build_graph(program, self.service, name or program.name)
 
     def contexts(self, task: Task, program: ParsedProgram) -> ContextMap:
-        return task.contexts(program, self.extractor)
+        return task.contexts(program, self.service)
 
 
 @representations.register("no-paths")
@@ -89,9 +107,12 @@ class NoPathsRepresentation(AstPathsRepresentation):
         extraction = dict(extraction or {})
         extraction.pop("abstraction", None)
         config = _extraction_config(extraction)
+        self.space = FeatureSpace()
         self.extractor = no_paths_extractor(
-            **{f.name: getattr(config, f.name) for f in dataclasses.fields(config) if f.name != "abstraction"}
+            space=self.space,
+            **{f.name: getattr(config, f.name) for f in dataclasses.fields(config) if f.name != "abstraction"},
         )
+        self.service = ExtractionService(self.extractor)
 
 
 @representations.register("token-context")

@@ -16,7 +16,7 @@ from ..tasks.variable_naming import build_crf_graph
 
 
 def no_paths_extractor(
-    max_length: int = 7, max_width: int = 3, **overrides
+    max_length: int = 7, max_width: int = 3, space=None, **overrides
 ) -> PathExtractor:
     """An extractor whose abstraction hides the path entirely."""
     return PathExtractor(
@@ -25,7 +25,8 @@ def no_paths_extractor(
             max_width=max_width,
             abstraction="no-path",
             **overrides,
-        )
+        ),
+        space=space,
     )
 
 

@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli languages [--json]        # supported languages
     python -m repro.cli cells [--json]            # valid registry cells
     python -m repro.cli paths <file>              # print path-contexts
+    python -m repro.cli extract [files...]        # corpus-scale extraction
+                                                  # stats (optionally --workers N)
     python -m repro.cli train --model m.json ...  # train + save a pipeline
     python -m repro.cli predict --model m.json <file> [--top K]
     python -m repro.cli rename <file> [...]       # deobfuscate (trains on a
@@ -26,6 +28,7 @@ import sys
 from typing import List, Optional
 
 from . import ExtractionConfig, PathExtractor, parse_source, supported_languages
+from .core.service import ExtractionService
 from .api import Pipeline, RunSpec
 from .corpus import deduplicate, generate_corpus
 from .corpus.generator import CorpusConfig
@@ -92,6 +95,55 @@ def cmd_paths(args: argparse.Namespace) -> int:
     )
     for extracted in extractor.extract(ast):
         print(extracted.context)
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    if args.files:
+        language = _guess_language(args.files[0], args.language)
+        sources = [_read(path) for path in args.files]
+    else:
+        if not args.language:
+            raise SystemExit("pass files or --language to generate a corpus")
+        language = args.language
+        print(f"Extracting a generated {language} corpus...", file=sys.stderr)
+        files = generate_corpus(
+            CorpusConfig(language=language, n_projects=args.projects, seed=args.seed)
+        )
+        kept, _removed = deduplicate(files)
+        sources = [f.source for f in kept]
+
+    service = ExtractionService(
+        config=ExtractionConfig(
+            max_length=args.max_length,
+            max_width=args.max_width,
+            include_semi_paths=args.semi_paths,
+        )
+    )
+    result = service.index_sources(sources, language, workers=args.workers)
+    if args.show:
+        space = result.space
+        for file_contexts in result.contexts:
+            for start_id, rel_id, end_id in file_contexts:
+                print(
+                    f"⟨{space.values.value(start_id)}, "
+                    f"{space.paths.value(rel_id)}, "
+                    f"{space.values.value(end_id)}⟩"
+                )
+    summary = dict(result.summary(), language=language)
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(
+            f"{summary['files']} files, {summary['paths']} path-contexts, "
+            f"{summary['unique_paths']} unique paths, "
+            f"{summary['unique_values']} unique values"
+        )
+        print(
+            f"{summary['nodes']} nodes in {summary['seconds']:.2f}s "
+            f"({summary['nodes_per_second']:.0f} nodes/s, "
+            f"workers={summary['workers']})"
+        )
     return 0
 
 
@@ -219,6 +271,21 @@ def build_parser() -> argparse.ArgumentParser:
     paths.add_argument("--max-width", type=int, default=3)
     paths.add_argument("--semi-paths", action="store_true")
     paths.set_defaults(func=cmd_paths)
+
+    extract = sub.add_parser(
+        "extract", help="batch-extract path-contexts and report corpus stats"
+    )
+    extract.add_argument("files", nargs="*", help="source files (default: generated corpus)")
+    extract.add_argument("--language", default=None)
+    extract.add_argument("--max-length", type=int, default=7)
+    extract.add_argument("--max-width", type=int, default=3)
+    extract.add_argument("--semi-paths", action="store_true")
+    extract.add_argument("--projects", type=int, default=16)
+    extract.add_argument("--seed", type=int, default=8)
+    extract.add_argument("--workers", type=int, default=1, help="process-pool fan-out")
+    extract.add_argument("--json", action="store_true", help="emit stats as JSON")
+    extract.add_argument("--show", action="store_true", help="also print every context")
+    extract.set_defaults(func=cmd_extract)
 
     train = sub.add_parser("train", help="train a pipeline and save it to a model file")
     train.add_argument("files", nargs="*", help="training files (default: generated corpus)")

@@ -2,25 +2,44 @@
 
 from .abstractions import ABSTRACTIONS, ABSTRACTION_LADDER, get_abstraction
 from .ast_model import Ast, Node, lowest_common_ancestor
-from .extraction import ExtractedPath, ExtractionConfig, PathExtractor, extract_path_contexts
+from .extraction import (
+    ExtractedPath,
+    ExtractionConfig,
+    PathExtractor,
+    ReferencePathExtractor,
+    ast_fingerprint,
+    extract_path_contexts,
+)
+from .interning import DEFAULT_SPACE, ContextVocab, FeatureSpace, PathVocab, Vocab
 from .path_context import PathContext, make_path_context
 from .paths import DOWN, UP, AstPath, NWisePath, path_between, semi_path
 from .pigeon import Pigeon
+from .service import CorpusExtraction, ExtractionService, ExtractionStats
 
 __all__ = [
     "ABSTRACTIONS",
     "ABSTRACTION_LADDER",
     "Ast",
     "AstPath",
+    "ContextVocab",
+    "CorpusExtraction",
+    "DEFAULT_SPACE",
     "DOWN",
     "ExtractedPath",
     "ExtractionConfig",
+    "ExtractionService",
+    "ExtractionStats",
+    "FeatureSpace",
     "NWisePath",
     "Node",
     "PathContext",
     "PathExtractor",
+    "PathVocab",
     "Pigeon",
+    "ReferencePathExtractor",
     "UP",
+    "Vocab",
+    "ast_fingerprint",
     "extract_path_contexts",
     "get_abstraction",
     "lowest_common_ancestor",

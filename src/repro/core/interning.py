@@ -1,0 +1,165 @@
+"""Interned feature vocabularies: strings become dense integer ids.
+
+Every downstream consumer of a path-context -- CRF factor keys, the
+candidate index, word2vec context tokens, corpus statistics -- used to
+re-materialise the same encoded path strings over and over.  This module
+introduces the interning layer: encoded paths and endpoint values are
+mapped to small integers *once, at extraction time*, and those ids flow
+end-to-end through graphs, models and serialized state.
+
+Three pieces:
+
+:class:`Vocab`
+    an append-only bidirectional ``str <-> int`` map.  Ids are assigned
+    densely in first-seen order, so a vocabulary built from the same
+    corpus in the same order is always identical.
+:class:`PathVocab` / :class:`ContextVocab`
+    the two vocabularies of the feature space: one for abstract path
+    encodings (CRF relations), one for endpoint values and labels.
+:class:`FeatureSpace`
+    a (paths, values) pair shared by an extractor, the graphs it builds
+    and the model trained on them.  It serializes to plain lists, so a
+    saved model carries its own id assignment and reloads bit-identically
+    in any process.
+
+A process-wide :data:`DEFAULT_SPACE` backs extractors and graphs created
+without an explicit space, so independently constructed components agree
+on ids by default (e.g. the train and test builders of a sweep).
+Pipelines create their own private space so saved models stay compact
+and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class Vocab:
+    """Append-only bidirectional string <-> dense-int map."""
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self, values: Sequence[str] = ()) -> None:
+        self._values: List[str] = []
+        self._ids: Dict[str, int] = {}
+        for value in values:
+            self.intern(value)
+
+    def intern(self, value: str) -> int:
+        """The id of ``value``, assigning the next dense id if unseen."""
+        existing = self._ids.get(value)
+        if existing is not None:
+            return existing
+        new_id = len(self._values)
+        self._ids[value] = new_id
+        self._values.append(value)
+        return new_id
+
+    def id_of(self, value: str) -> Optional[int]:
+        """The id of ``value`` if already interned, else ``None``."""
+        return self._ids.get(value)
+
+    def value(self, value_id: int) -> str:
+        """The string behind an id (raises ``IndexError`` for unknown ids)."""
+        return self._values[value_id]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def to_list(self) -> List[str]:
+        """JSON-ready snapshot; inverse of :meth:`from_list`."""
+        return list(self._values)
+
+    @classmethod
+    def from_list(cls, values: Sequence[str]) -> "Vocab":
+        return cls(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({len(self)} entries)"
+
+
+class PathVocab(Vocab):
+    """Vocabulary of abstract path encodings (the CRF relations)."""
+
+    __slots__ = ()
+
+
+class ContextVocab(Vocab):
+    """Vocabulary of path-context endpoint values and predicted labels.
+
+    Neighbour values and gold labels share one id space on purpose: the
+    candidate index pairs "the label seen at the other end" with "the
+    label to predict", and those are drawn from the same population of
+    program names.
+    """
+
+    __slots__ = ()
+
+
+class FeatureSpace:
+    """The shared (paths, values) vocabulary pair of one model family.
+
+    An extractor interns into a feature space; the graphs it builds, the
+    model trained on those graphs and the word2vec pairs derived from the
+    same extraction all reference ids of the *same* space.  Serializing a
+    model therefore means serializing its space alongside the int-keyed
+    weights.
+    """
+
+    __slots__ = ("paths", "values")
+
+    def __init__(
+        self,
+        paths: Optional[PathVocab] = None,
+        values: Optional[ContextVocab] = None,
+    ) -> None:
+        self.paths = paths if paths is not None else PathVocab()
+        self.values = values if values is not None else ContextVocab()
+
+    # ------------------------------------------------------------------
+    # Encoding helpers
+    # ------------------------------------------------------------------
+    def encode_context(self, start_value: str, path: str, end_value: str) -> Tuple[int, int, int]:
+        """Intern one ``<xs, alpha(p), xf>`` triple to ``(id, id, id)``."""
+        return (
+            self.values.intern(start_value),
+            self.paths.intern(path),
+            self.values.intern(end_value),
+        )
+
+    def decode_context(self, triple: Tuple[int, int, int]) -> Tuple[str, str, str]:
+        start_id, rel_id, end_id = triple
+        return (
+            self.values.value(start_id),
+            self.paths.value(rel_id),
+            self.values.value(end_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot; inverse of :meth:`from_dict`."""
+        return {"paths": self.paths.to_list(), "values": self.values.to_list()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FeatureSpace":
+        return cls(
+            PathVocab(data.get("paths", ())),
+            ContextVocab(data.get("values", ())),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FeatureSpace(paths={len(self.paths)}, values={len(self.values)})"
+
+
+#: Process-wide default space: components constructed without an explicit
+#: space (ad-hoc extractors, hand-built graphs, the sweep builders) all
+#: intern here and therefore agree on ids.
+DEFAULT_SPACE = FeatureSpace()

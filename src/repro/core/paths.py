@@ -128,9 +128,17 @@ class AstPath:
         return "".join(parts)
 
     def __eq__(self, other: object) -> bool:
+        """Paths are equal iff they traverse the *same node objects*.
+
+        Equality is node-identity-based (and ``__hash__`` agrees): two
+        paths over structurally identical but distinct trees are distinct
+        paths.  Compare :meth:`encode` outputs for structural equality.
+        """
         if not isinstance(other, AstPath):
             return NotImplemented
-        return self.nodes == other.nodes and self.directions == other.directions
+        if self.directions != other.directions:
+            return False
+        return all(a is b for a, b in zip(self.nodes, other.nodes))
 
     def __hash__(self) -> int:
         return hash((tuple(id(n) for n in self.nodes), self.directions))

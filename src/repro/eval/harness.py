@@ -28,6 +28,7 @@ from ..api.representations import representations as representation_registry
 from ..api.tasks import tasks as task_registry
 from ..core.ast_model import Ast
 from ..core.extraction import ExtractionConfig, PathExtractor
+from ..core.service import CorpusExtraction, ExtractionService
 from ..corpus import deduplicate, generate_corpus, split_corpus
 from ..corpus.generator import CorpusConfig, CorpusFile
 from ..corpus.splits import CorpusSplit
@@ -104,6 +105,27 @@ def prepare_language_data(
     split = split_corpus(kept, seed=split_seed)
     asts = {f.path: parse_source(language, f.source) for f in kept}
     return PreparedData(language=language, split=split, asts=asts, removed_duplicates=removed)
+
+
+def extract_corpus(
+    data: PreparedData,
+    config: Optional[ExtractionConfig] = None,
+    workers: int = 1,
+) -> CorpusExtraction:
+    """Index a prepared corpus through the :class:`ExtractionService`.
+
+    Every file's path-contexts are interned into one shared vocab;
+    ``workers > 1`` fans the parse+extract out over a process pool.  The
+    result carries corpus-wide throughput stats (what ``pigeon extract``
+    and the extraction benchmark report).
+    """
+    service = ExtractionService(config=config)
+    files = (
+        list(data.split.train) + list(data.split.validation) + list(data.split.test)
+    )
+    return service.index_sources(
+        [f.source for f in files], data.language, workers=workers
+    )
 
 
 # ----------------------------------------------------------------------

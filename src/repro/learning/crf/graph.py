@@ -11,26 +11,39 @@ one identifier are merged into a single CRF node.  Factors connect:
   between different occurrences of the same element (the paper's
   Nice2Predict extension, worth about 1.5% accuracy).
 
-The relation attached to each factor is the abstract path encoding; with
-the ``no-path`` abstraction all relations collapse into one symbol, which
-is exactly the "bag of near identifiers" baseline.
+Factors are stored as **integer ids** in the graph's
+:class:`~repro.core.interning.FeatureSpace`: ``rel`` is a path-vocab id
+(the abstract path encoding) and a known neighbour's ``label`` is a
+value-vocab id.  The ``add_*_factor`` methods accept either ids (the
+fast path used by the task builders, which intern at extraction time) or
+raw strings (hand-written builders and tests), interning the latter on
+the way in.  With the ``no-path`` abstraction all relations collapse
+into one id, which is exactly the "bag of near identifiers" baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ...core.interning import DEFAULT_SPACE, FeatureSpace
+
+#: A relation or neighbour label as callers may pass it: an interned id
+#: or a raw string (interned by the graph).
+Feature = Union[int, str]
 
 
 @dataclass(frozen=True)
 class KnownNeighbor:
     """A pairwise factor between an unknown node and a fixed-label value.
 
-    ``rel`` is directional *from* the unknown element *to* the neighbour.
+    ``rel`` is the path-vocab id of the relation, directional *from* the
+    unknown element *to* the neighbour; ``label`` is the value-vocab id
+    of the neighbour's label.
     """
 
-    rel: str
-    label: str
+    rel: int
+    label: int
 
 
 @dataclass(frozen=True)
@@ -38,10 +51,10 @@ class UnknownEdge:
     """A pairwise factor between two unknown nodes.
 
     Stored on the side of node ``owner``; ``other`` is the peer's index in
-    the graph.  ``rel`` is directional from owner to peer.
+    the graph.  ``rel`` is the path-vocab id, directional owner -> peer.
     """
 
-    rel: str
+    rel: int
     other: int
 
 
@@ -57,18 +70,25 @@ class UnknownNode:
     known: List[KnownNeighbor] = field(default_factory=list)
     #: Pairwise factors to other unknown nodes (directional, this side).
     edges: List[UnknownEdge] = field(default_factory=list)
-    #: Unary factors: relations between occurrences of this element.
-    unary: List[str] = field(default_factory=list)
+    #: Unary factors: relation ids between occurrences of this element.
+    unary: List[int] = field(default_factory=list)
 
     def degree(self) -> int:
         return len(self.known) + len(self.edges) + len(self.unary)
 
 
 class CrfGraph:
-    """A factor graph for one program (one file in our corpora)."""
+    """A factor graph for one program (one file in our corpora).
 
-    def __init__(self, name: str = "") -> None:
+    ``space`` is the feature space the factor ids reference; graphs built
+    by one extractor (or one pipeline) share its space, and hand-built
+    graphs default to the process-wide
+    :data:`~repro.core.interning.DEFAULT_SPACE`.
+    """
+
+    def __init__(self, name: str = "", space: Optional[FeatureSpace] = None) -> None:
         self.name = name
+        self.space = space if space is not None else DEFAULT_SPACE
         self.unknowns: List[UnknownNode] = []
         self._key_to_index: Dict[str, int] = {}
 
@@ -87,22 +107,42 @@ class CrfGraph:
     def index_of(self, key: str) -> Optional[int]:
         return self._key_to_index.get(key)
 
-    def add_known_factor(self, index: int, rel: str, label: str) -> None:
-        self.unknowns[index].known.append(KnownNeighbor(rel, label))
+    def rel_id(self, rel: Feature) -> int:
+        """Normalise a relation (string or id) to its path-vocab id."""
+        return self.space.paths.intern(rel) if isinstance(rel, str) else rel
 
-    def add_unknown_factor(self, a: int, b: int, rel: str, rel_reverse: str) -> None:
+    def value_id(self, label: Feature) -> int:
+        """Normalise a label (string or id) to its value-vocab id."""
+        return self.space.values.intern(label) if isinstance(label, str) else label
+
+    def add_known_factor(self, index: int, rel: Feature, label: Feature) -> None:
+        self.unknowns[index].known.append(
+            KnownNeighbor(self.rel_id(rel), self.value_id(label))
+        )
+
+    def add_unknown_factor(
+        self, a: int, b: int, rel: Feature, rel_reverse: Feature
+    ) -> None:
         """Connect two unknowns; each side stores its directional relation."""
         if a == b:
             raise ValueError("use add_unary_factor for self relations")
-        self.unknowns[a].edges.append(UnknownEdge(rel, b))
-        self.unknowns[b].edges.append(UnknownEdge(rel_reverse, a))
+        self.unknowns[a].edges.append(UnknownEdge(self.rel_id(rel), b))
+        self.unknowns[b].edges.append(UnknownEdge(self.rel_id(rel_reverse), a))
 
-    def add_unary_factor(self, index: int, rel: str) -> None:
-        self.unknowns[index].unary.append(rel)
+    def add_unary_factor(self, index: int, rel: Feature) -> None:
+        self.unknowns[index].unary.append(self.rel_id(rel))
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def decode_rel(self, rel_id: int) -> str:
+        """The abstract path encoding behind a relation id."""
+        return self.space.paths.value(rel_id)
+
+    def decode_value(self, value_id: int) -> str:
+        """The label string behind a value id."""
+        return self.space.values.value(value_id)
+
     def __len__(self) -> int:
         return len(self.unknowns)
 

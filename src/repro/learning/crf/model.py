@@ -10,6 +10,15 @@ as the sum of factor weights (log-potentials):
 This corresponds to the (log of the) unnormalised product of factors in
 Eq. (1); MAP inference does not need the partition function ``Z``.
 
+All weight and index keys are **integer tuples** over the model's
+:class:`~repro.core.interning.FeatureSpace`: labels and neighbour values
+are value-vocab ids, relations are path-vocab ids.  The public label API
+stays string-based (``node_score`` takes a label string,
+``candidates_for`` returns label strings); interning happens once at the
+boundary.  Serialization is vocab-aware -- :meth:`to_dict` embeds the
+space, so a reloaded model resolves the same ids to the same strings and
+predictions round-trip bit-identically.
+
 The *candidate index* maps observed ``(rel, neighbour-label)`` contexts to
 the gold labels seen with them in training -- the mechanism Nice2Predict
 uses to keep inference over a tractable beam of candidate names.
@@ -22,25 +31,54 @@ import math
 from collections import Counter, defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ...core.interning import DEFAULT_SPACE, FeatureSpace
 from .graph import CrfGraph, UnknownNode
 
-PairKey = Tuple[str, str, str]  # (label, rel, other_label)
-UnaryKey = Tuple[str, str]  # (label, rel)
+PairKey = Tuple[int, int, int]  # (label_id, rel_id, other_value_id)
+UnaryKey = Tuple[int, int]  # (label_id, rel_id)
 
 
 class CrfModel:
     """Sparse log-linear model over pairwise and unary factors."""
 
-    def __init__(self, use_unary: bool = True) -> None:
+    def __init__(
+        self, use_unary: bool = True, space: Optional[FeatureSpace] = None
+    ) -> None:
+        # Defaulting to the process-wide space makes a hand-built model
+        # agree on ids with hand-built graphs; the trainer and pipelines
+        # pass the graphs' (or the representation's) space explicitly.
+        self.space = space if space is not None else DEFAULT_SPACE
         self.pair_weights: Dict[PairKey, float] = defaultdict(float)
         self.unary_weights: Dict[UnaryKey, float] = defaultdict(float)
-        #: (rel, other_label) -> Counter of gold labels seen in training.
-        self.candidate_index: Dict[Tuple[str, str], Counter] = defaultdict(Counter)
-        #: rel -> Counter of gold labels (for unary-only nodes).
-        self.unary_candidate_index: Dict[str, Counter] = defaultdict(Counter)
-        #: Global label frequencies (fallback candidates).
+        #: (rel_id, other_value_id) -> Counter of gold label ids.
+        self.candidate_index: Dict[Tuple[int, int], Counter] = defaultdict(Counter)
+        #: rel_id -> Counter of gold label ids (for unary-only nodes).
+        self.unary_candidate_index: Dict[int, Counter] = defaultdict(Counter)
+        #: Global label-id frequencies (fallback candidates).
         self.label_counts: Counter = Counter()
         self.use_unary = use_unary
+
+    # ------------------------------------------------------------------
+    # Label interning boundary
+    # ------------------------------------------------------------------
+    def label_id(self, label: str) -> int:
+        """Intern a label string into the shared value vocabulary."""
+        return self.space.values.intern(label)
+
+    def label_of(self, label_id: int) -> str:
+        return self.space.values.value(label_id)
+
+    def rel_id(self, rel: str) -> int:
+        """Intern a relation string into the shared path vocabulary."""
+        return self.space.paths.intern(rel)
+
+    def pair_key(self, label: str, rel: str, other: str) -> PairKey:
+        """Build a :data:`PairKey` from strings (tests, inspection)."""
+        return (self.label_id(label), self.rel_id(rel), self.label_id(other))
+
+    def unary_key(self, label: str, rel: str) -> UnaryKey:
+        """Build a :data:`UnaryKey` from strings (tests, inspection)."""
+        return (self.label_id(label), self.rel_id(rel))
 
     # ------------------------------------------------------------------
     # Scoring
@@ -52,20 +90,27 @@ class CrfModel:
         assignment: Sequence[str],
     ) -> float:
         """Score of ``label`` for one node given the current assignment."""
+        values = self.space.values
+        lid = values.id_of(label)
+        if lid is None:
+            return 0.0  # a label never seen in training matches no feature
         score = 0.0
         pair = self.pair_weights
         for factor in node.known:
-            key = (label, factor.rel, factor.label)
+            key = (lid, factor.rel, factor.label)
             if key in pair:
                 score += pair[key]
         for edge in node.edges:
-            key = (label, edge.rel, assignment[edge.other])
+            other_id = values.id_of(assignment[edge.other])
+            if other_id is None:
+                continue
+            key = (lid, edge.rel, other_id)
             if key in pair:
                 score += pair[key]
         if self.use_unary:
             unary = self.unary_weights
             for rel in node.unary:
-                key = (label, rel)
+                key = (lid, rel)
                 if key in unary:
                     score += unary[key]
         return score
@@ -82,12 +127,12 @@ class CrfModel:
     # ------------------------------------------------------------------
     def observe_training_node(self, node: UnknownNode, graph: CrfGraph) -> None:
         """Record a gold-labelled node into the candidate index."""
-        gold = node.gold
+        gold = self.label_id(node.gold)
         self.label_counts[gold] += 1
         for factor in node.known:
             self.candidate_index[(factor.rel, factor.label)][gold] += 1
         for edge in node.edges:
-            other_gold = graph.unknowns[edge.other].gold
+            other_gold = self.label_id(graph.unknowns[edge.other].gold)
             self.candidate_index[(edge.rel, other_gold)][gold] += 1
         for rel in node.unary:
             self.unary_candidate_index[rel][gold] += 1
@@ -101,18 +146,22 @@ class CrfModel:
         global_fallback: int = 8,
     ) -> List[str]:
         """Candidate labels for one node given its neighbourhood."""
-        seen: Dict[str, int] = {}
+        values = self.space.values
+        seen: Dict[int, int] = {}
 
         def add_counter(counter: Counter, limit: int) -> None:
-            for label, count in counter.most_common(limit):
-                seen[label] = seen.get(label, 0) + count
+            for label_id, count in counter.most_common(limit):
+                seen[label_id] = seen.get(label_id, 0) + count
 
         for factor in node.known:
             counter = self.candidate_index.get((factor.rel, factor.label))
             if counter:
                 add_counter(counter, per_context)
         for edge in node.edges:
-            counter = self.candidate_index.get((edge.rel, assignment[edge.other]))
+            other_id = values.id_of(assignment[edge.other])
+            if other_id is None:
+                continue
+            counter = self.candidate_index.get((edge.rel, other_id))
             if counter:
                 add_counter(counter, per_context)
         if self.use_unary:
@@ -120,9 +169,14 @@ class CrfModel:
                 counter = self.unary_candidate_index.get(rel)
                 if counter:
                     add_counter(counter, per_context)
-        for label, count in self.label_counts.most_common(global_fallback):
-            seen.setdefault(label, count)
-        ranked = sorted(seen.items(), key=lambda kv: (-kv[1], kv[0]))
+        for label_id, count in self.label_counts.most_common(global_fallback):
+            seen.setdefault(label_id, count)
+        # Ties break on the label *string* (not the id) so candidate order
+        # is a function of the corpus, never of interning order.
+        ranked = sorted(
+            ((values.value(lid), count) for lid, count in seen.items()),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
         return [label for label, _ in ranked[:beam]]
 
     # ------------------------------------------------------------------
@@ -149,46 +203,91 @@ class CrfModel:
 
     def top_features(self, n: int = 20) -> List[Tuple[str, float]]:
         """Highest-weight features -- CRFs are interpretable (Sec. 5.3)."""
+        values = self.space.values
+        paths = self.space.paths
         items: List[Tuple[str, float]] = []
         for (label, rel, other), w in self.pair_weights.items():
-            items.append((f"pair: {label} --[{rel}]--> {other}", w))
+            items.append(
+                (
+                    f"pair: {values.value(label)} --[{paths.value(rel)}]--> "
+                    f"{values.value(other)}",
+                    w,
+                )
+            )
         for (label, rel), w in self.unary_weights.items():
-            items.append((f"unary: {label} --[{rel}]--> (self)", w))
+            items.append(
+                (f"unary: {values.value(label)} --[{paths.value(rel)}]--> (self)", w)
+            )
         items.sort(key=lambda kv: -abs(kv[1]))
         return items[:n]
 
     def to_dict(self) -> dict:
+        """Vocab-aware JSON-ready snapshot; inverse of :meth:`from_dict`.
+
+        Int-tuple keys serialize as arrays; the feature space rides along
+        so the ids stay meaningful in any process.
+        """
         return {
-            "pair_weights": {"\x1f".join(k): v for k, v in self.pair_weights.items()},
-            "unary_weights": {"\x1f".join(k): v for k, v in self.unary_weights.items()},
+            "space": self.space.to_dict(),
+            "pair_weights": [[l, r, o, w] for (l, r, o), w in self.pair_weights.items()],
+            "unary_weights": [[l, r, w] for (l, r), w in self.unary_weights.items()],
             # Candidate indexes are part of inference (they bound the label
             # beam), so they persist too -- a reloaded model must propose
-            # the same candidates in the same tie-break order.
-            "candidate_index": {
-                "\x1f".join(k): dict(v) for k, v in self.candidate_index.items()
-            },
-            "unary_candidate_index": {
-                k: dict(v) for k, v in self.unary_candidate_index.items()
-            },
-            "label_counts": dict(self.label_counts),
+            # the same candidates in the same tie-break order.  Counter
+            # entries keep their first-observed insertion order, which is
+            # what Counter.most_common uses to break count ties.
+            "candidate_index": [
+                [r, o, list(counter.items())]
+                for (r, o), counter in self.candidate_index.items()
+            ],
+            "unary_candidate_index": [
+                [r, list(counter.items())]
+                for r, counter in self.unary_candidate_index.items()
+            ],
+            "label_counts": list(self.label_counts.items()),
             "use_unary": self.use_unary,
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CrfModel":
-        model = cls(use_unary=data.get("use_unary", True))
-        for key, value in data.get("pair_weights", {}).items():
-            label, rel, other = key.split("\x1f")
-            model.pair_weights[(label, rel, other)] = value
-        for key, value in data.get("unary_weights", {}).items():
-            label, rel = key.split("\x1f")
-            model.unary_weights[(label, rel)] = value
-        for key, counts in data.get("candidate_index", {}).items():
-            rel, other = key.split("\x1f")
-            model.candidate_index[(rel, other)].update(counts)
-        for rel, counts in data.get("unary_candidate_index", {}).items():
-            model.unary_candidate_index[rel].update(counts)
-        model.label_counts.update(data.get("label_counts", {}))
+    def from_dict(cls, data: dict, space: Optional[FeatureSpace] = None) -> "CrfModel":
+        """Rebuild a model from a :meth:`to_dict` snapshot.
+
+        With ``space=None`` the model adopts the snapshot's own (detached)
+        feature space, keeping the stored ids verbatim -- the path
+        :meth:`~repro.api.Pipeline.load` uses, which then rebinds its
+        representation onto the restored space.  Passing a ``space``
+        *translates* every stored id through the snapshot's vocab into
+        that space, so the model agrees with graphs interned elsewhere
+        (e.g. :data:`~repro.core.interning.DEFAULT_SPACE`).
+        """
+        snapshot = FeatureSpace.from_dict(data.get("space", {}))
+        if space is None:
+            space = snapshot
+            rel = val = int
+        else:
+            target = space
+
+            def rel(i, _paths=snapshot.paths):
+                return target.paths.intern(_paths.value(int(i)))
+
+            def val(i, _values=snapshot.values):
+                return target.values.intern(_values.value(int(i)))
+        model = cls(use_unary=data.get("use_unary", True), space=space)
+        for label, r, other, weight in data.get("pair_weights", ()):
+            model.pair_weights[(val(label), rel(r), val(other))] = weight
+        for label, r, weight in data.get("unary_weights", ()):
+            model.unary_weights[(val(label), rel(r))] = weight
+        for r, other, counts in data.get("candidate_index", ()):
+            model.candidate_index[(rel(r), val(other))].update(
+                {val(label): count for label, count in counts}
+            )
+        for r, counts in data.get("unary_candidate_index", ()):
+            model.unary_candidate_index[rel(r)].update(
+                {val(label): count for label, count in counts}
+            )
+        model.label_counts.update(
+            {val(label): count for label, count in data.get("label_counts", ())}
+        )
         return model
 
     def save(self, path: str) -> None:
@@ -196,6 +295,14 @@ class CrfModel:
             json.dump(self.to_dict(), handle)
 
     @classmethod
-    def load(cls, path: str) -> "CrfModel":
+    def load(cls, path: str, space: Optional[FeatureSpace] = None) -> "CrfModel":
+        """Load a standalone model, remapping ids onto ``space``.
+
+        Defaults to the process-wide
+        :data:`~repro.core.interning.DEFAULT_SPACE` so a loaded model
+        scores graphs built by fresh default extractors in this process
+        -- the pre-interning string-key behaviour.
+        """
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle))
+            data = json.load(handle)
+        return cls.from_dict(data, space=space if space is not None else DEFAULT_SPACE)

@@ -59,7 +59,16 @@ class CrfTrainer:
 
     def train(self, graphs: Sequence[CrfGraph]) -> Tuple[CrfModel, TrainingStats]:
         cfg = self.config
-        model = CrfModel(use_unary=cfg.use_unary)
+        # The model shares the graphs' feature space: factor ids in the
+        # graphs index directly into the model's weight keys.
+        space = graphs[0].space if graphs else None
+        for graph in graphs:
+            if graph.space is not space:
+                raise ValueError(
+                    "all training graphs must share one FeatureSpace; got "
+                    "graphs built by extractors with different spaces"
+                )
+        model = CrfModel(use_unary=cfg.use_unary, space=space)
         stats = TrainingStats(graphs=len(graphs))
         started = time.perf_counter()
 
@@ -150,24 +159,27 @@ class CrfTrainer:
         bump_unary,
         cfg: TrainingConfig,
     ) -> None:
-        """Subgradient step: phi(gold) - phi(predicted)."""
+        """Subgradient step: phi(gold) - phi(predicted), on interned ids."""
+        intern = model.label_id
+        gold_ids = [intern(label) for label in gold]
+        pred_ids = [intern(label) for label in predicted]
         for i, node in enumerate(graph.unknowns):
             for factor in node.known:
-                gold_key = (gold[i], factor.rel, factor.label)
-                pred_key = (predicted[i], factor.rel, factor.label)
+                gold_key = (gold_ids[i], factor.rel, factor.label)
+                pred_key = (pred_ids[i], factor.rel, factor.label)
                 if gold_key != pred_key:
                     bump_pair(gold_key, lr)
                     bump_pair(pred_key, -lr)
             for edge in node.edges:
-                gold_key = (gold[i], edge.rel, gold[edge.other])
-                pred_key = (predicted[i], edge.rel, predicted[edge.other])
+                gold_key = (gold_ids[i], edge.rel, gold_ids[edge.other])
+                pred_key = (pred_ids[i], edge.rel, pred_ids[edge.other])
                 if gold_key != pred_key:
                     bump_pair(gold_key, lr)
                     bump_pair(pred_key, -lr)
             if cfg.use_unary:
                 for rel in node.unary:
-                    gold_key = (gold[i], rel)
-                    pred_key = (predicted[i], rel)
+                    gold_key = (gold_ids[i], rel)
+                    pred_key = (pred_ids[i], rel)
                     if gold_key != pred_key:
                         bump_unary(gold_key, lr)
                         bump_unary(pred_key, -lr)

@@ -3,6 +3,7 @@
 from .variable_naming import (
     RENAMEABLE_KINDS,
     build_crf_graph,
+    decode_w2v_token,
     element_groups,
     extract_w2v_pairs,
     element_contexts,
@@ -13,6 +14,7 @@ from .type_prediction import build_type_graph, typed_targets
 __all__ = [
     "RENAMEABLE_KINDS",
     "build_crf_graph",
+    "decode_w2v_token",
     "element_groups",
     "extract_w2v_pairs",
     "element_contexts",

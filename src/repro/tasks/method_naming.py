@@ -103,7 +103,7 @@ def build_method_graph(
     use_external: bool = True,
 ) -> CrfGraph:
     """CRF graph whose unknowns are the file's method names."""
-    graph = CrfGraph(name=name)
+    graph = CrfGraph(name=name, space=extractor.space)
     elements = method_elements(ast)
     for key, info in elements.items():
         graph.add_unknown(key, gold=str(info["gold"]))
@@ -126,9 +126,7 @@ def build_method_graph(
         for extracted in extractor.paths_from([decl], internal_targets):
             if id(extracted.end) in occupied:
                 continue
-            graph.add_known_factor(
-                index, extracted.context.path, extracted.context.end_value
-            )
+            graph.add_known_factor(index, extracted.rel_id, extracted.end_value_id)
 
         if use_external:
             for call_site in occurrences[1:]:
@@ -139,13 +137,13 @@ def build_method_graph(
                     if id(extracted.end) in occupied:
                         continue
                     graph.add_known_factor(
-                        index, extracted.context.path, extracted.context.end_value
+                        index, extracted.rel_id, extracted.end_value_id
                     )
                 # Unary factors between occurrences of the method name.
                 for extracted in extractor.paths_from(
                     [decl], [call_site], enforce_limits=False
                 ):
-                    graph.add_unary_factor(index, extracted.context.path)
+                    graph.add_unary_factor(index, extracted.rel_id)
     return graph
 
 

@@ -77,7 +77,7 @@ def build_type_graph(
     ast: Ast, extractor: PathExtractor, name: str = ""
 ) -> CrfGraph:
     """CRF graph whose unknowns are typed expressions; gold = full type."""
-    graph = CrfGraph(name=name)
+    graph = CrfGraph(name=name, space=extractor.space)
     counter = {"n": 0}
     occurrences: Dict[str, List[Node]] = defaultdict(list)
     golds: Dict[str, str] = {}
@@ -98,12 +98,12 @@ def build_type_graph(
             targets = _nearby_leaves(ast, node, extractor)
             for extracted in extractor.paths_from([node], targets):
                 graph.add_known_factor(
-                    index, extracted.context.path, extracted.context.end_value
+                    index, extracted.rel_id, extracted.end_value_id
                 )
         # Unary factors between occurrences of the same variable.
         if len(nodes) > 1:
             for extracted in extractor.paths_from(nodes[:1], nodes[1:], enforce_limits=False):
-                graph.add_unary_factor(index, extracted.context.path)
+                graph.add_unary_factor(index, extracted.rel_id)
     return graph
 
 

@@ -8,10 +8,13 @@ element become unary factors, paths to fixed-label neighbours become
 pairwise factors, and paths between two renameable elements become
 unknown-unknown factors.
 
-The same extraction drives word2vec: each (element, path-context) pair
-becomes an SGNS training pair whose context token is ``rel + other
-endpoint value``.  Endpoints that are themselves renameable elements are
-replaced by a placeholder so gold names never leak into contexts.
+Factors are built from the extractor's **interned ids** (relation ids
+and endpoint-value ids) -- no path strings are materialised on this
+path.  The same extraction drives word2vec: each (element, path-context)
+pair becomes an SGNS training pair whose context token is the id pair
+``(rel_id, other-endpoint value id)``.  Endpoints that are themselves
+renameable elements are replaced by a placeholder so gold names never
+leak into contexts.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.ast_model import Ast, Node
 from ..core.extraction import ExtractedPath, PathExtractor
+from ..core.interning import FeatureSpace
 from ..core.path_context import endpoint_value
 from ..learning.crf.graph import CrfGraph
 
@@ -30,8 +34,11 @@ RENAMEABLE_KINDS = frozenset({"local", "param"})
 #: Placeholder for the value of an unknown element inside a context.
 PLACEHOLDER = "?"
 
-#: Separator inside a word2vec context token.
+#: Separator inside a *decoded* word2vec context token.
 CONTEXT_SEP = "\x1d"
+
+#: A word2vec context token: (relation id, other-endpoint value id).
+W2vToken = Tuple[int, int]
 
 
 def _binding_of(node: Node) -> Optional[str]:
@@ -55,7 +62,7 @@ def build_crf_graph(
     ast: Ast, extractor: PathExtractor, name: str = ""
 ) -> CrfGraph:
     """Build the CRF factor graph of one program for variable naming."""
-    graph = CrfGraph(name=name)
+    graph = CrfGraph(name=name, space=extractor.space)
     groups = element_groups(ast)
     for binding, occurrences in groups.items():
         graph.add_unknown(binding, gold=occurrences[0].value or "")
@@ -72,7 +79,7 @@ def _add_factor(
     end_binding = _binding_of(extracted.end)
     if start_binding is None and end_binding is None:
         return
-    rel_forward = extracted.context.path
+    rel_forward = extracted.rel_id
 
     if start_binding is not None and start_binding == end_binding:
         index = graph.index_of(start_binding)
@@ -80,7 +87,7 @@ def _add_factor(
             graph.add_unary_factor(index, rel_forward)
         return
 
-    rel_backward = extractor.context_for(extracted.path.reversed()).path
+    rel_backward = extractor.reversed_rel_id(extracted)
     if start_binding is not None and end_binding is not None:
         a = graph.index_of(start_binding)
         b = graph.index_of(end_binding)
@@ -91,12 +98,12 @@ def _add_factor(
     if start_binding is not None:
         index = graph.index_of(start_binding)
         if index is not None:
-            graph.add_known_factor(index, rel_forward, extracted.context.end_value)
+            graph.add_known_factor(index, rel_forward, extracted.end_value_id)
         return
 
     index = graph.index_of(end_binding)  # type: ignore[arg-type]
     if index is not None:
-        graph.add_known_factor(index, rel_backward, extracted.context.start_value)
+        graph.add_known_factor(index, rel_backward, extracted.start_value_id)
 
 
 # ----------------------------------------------------------------------
@@ -105,20 +112,31 @@ def _add_factor(
 
 
 def context_token(rel: str, other_label: str) -> str:
-    """Serialise (relation, neighbour label) into one context token."""
+    """Serialise (relation, neighbour label) into one *string* token.
+
+    Kept for token-stream baselines and debugging output; the AST-path
+    pipeline passes interned :data:`W2vToken` id pairs instead.
+    """
     return f"{rel}{CONTEXT_SEP}{other_label}"
+
+
+def decode_w2v_token(token: W2vToken, space: FeatureSpace) -> str:
+    """Render an interned (rel_id, value_id) token in the string form."""
+    rel_id, value_id = token
+    return context_token(space.paths.value(rel_id), space.values.value(value_id))
 
 
 def element_contexts(
     ast: Ast, extractor: PathExtractor
-) -> Dict[str, Tuple[str, List[str]]]:
-    """binding -> (gold name, context tokens) for word2vec prediction.
+) -> Dict[str, Tuple[str, List[W2vToken]]]:
+    """binding -> (gold name, context id-pair tokens) for word2vec.
 
     Other unknown elements appearing at the far endpoint are masked with
     :data:`PLACEHOLDER` so that the gold assignment never leaks.
     """
     groups = element_groups(ast)
-    contexts: Dict[str, List[str]] = {binding: [] for binding in groups}
+    contexts: Dict[str, List[W2vToken]] = {binding: [] for binding in groups}
+    placeholder_id = extractor.space.values.intern(PLACEHOLDER)
 
     for extracted in extractor.extract(ast):
         start_binding = _binding_of(extracted.start)
@@ -128,16 +146,18 @@ def element_contexts(
         if start_binding is not None and start_binding == end_binding:
             continue  # self-contexts would pair a name with itself
         if start_binding is not None:
-            other = PLACEHOLDER if end_binding is not None else extracted.context.end_value
-            contexts[start_binding].append(
-                context_token(extracted.context.path, other)
-            )
-        if end_binding is not None:
-            rel_back = extractor.context_for(extracted.path.reversed()).path
             other = (
-                PLACEHOLDER if start_binding is not None else extracted.context.start_value
+                placeholder_id if end_binding is not None else extracted.end_value_id
             )
-            contexts[end_binding].append(context_token(rel_back, other))
+            contexts[start_binding].append((extracted.rel_id, other))
+        if end_binding is not None:
+            rel_back = extractor.reversed_rel_id(extracted)
+            other = (
+                placeholder_id
+                if start_binding is not None
+                else extracted.start_value_id
+            )
+            contexts[end_binding].append((rel_back, other))
 
     return {
         binding: (groups[binding][0].value or "", tokens)
@@ -147,9 +167,9 @@ def element_contexts(
 
 def extract_w2v_pairs(
     ast: Ast, extractor: PathExtractor
-) -> List[Tuple[str, str]]:
-    """(gold name, context token) training pairs for SGNS."""
-    pairs: List[Tuple[str, str]] = []
+) -> List[Tuple[str, W2vToken]]:
+    """(gold name, context id-pair token) training pairs for SGNS."""
+    pairs: List[Tuple[str, W2vToken]] = []
     for _binding, (gold, tokens) in element_contexts(ast, extractor).items():
         for token in tokens:
             pairs.append((gold, token))

@@ -170,15 +170,27 @@ class TestBaselinesThroughApi:
 
     def test_no_paths_word2vec_is_path_neighbors(self):
         # no-paths + word2vec reproduces the "path-neighbours" baseline
-        # context extraction of repro.baselines.path_neighbors.
+        # context extraction of repro.baselines.path_neighbors.  The two
+        # run in different feature spaces (pipeline-private vs default),
+        # so token id pairs are compared decoded.
         from repro.baselines import path_neighbor_contexts
+        from repro.core.interning import DEFAULT_SPACE
         from repro.lang.base import parse_source
+        from repro.tasks.variable_naming import decode_w2v_token
 
         pipeline = Pipeline(
             language="javascript", representation="no-paths", learner="word2vec", sgns=SGNS
         )
+
+        def decoded(view, space):
+            return {
+                key: (gold, [decode_w2v_token(t, space) for t in tokens])
+                for key, (gold, tokens) in view.items()
+            }
+
         view = pipeline.view(pipeline.parse(TEST_JS))
-        assert view == path_neighbor_contexts(parse_source("javascript", TEST_JS))
+        baseline = path_neighbor_contexts(parse_source("javascript", TEST_JS))
+        assert decoded(view, pipeline.space) == decoded(baseline, DEFAULT_SPACE)
 
 
 class TestPersistence:
@@ -192,6 +204,21 @@ class TestPersistence:
         assert reloaded.predict(TEST_JS) == pipeline.predict(TEST_JS)
         # suggestion scores must round-trip bit-for-bit too
         assert reloaded.suggest(TEST_JS, k=5) == pipeline.suggest(TEST_JS, k=5)
+        # the restored learner's feature space is adopted by the reloaded
+        # representation, so predict-time interning matches the weights
+        assert reloaded.representation.space is reloaded.learner.space
+        assert reloaded.space.to_dict() == pipeline.space.to_dict()
+
+    def test_crf_save_load_round_trips_vocab(self, tmp_path):
+        pipeline = Pipeline(language="javascript", training={"epochs": 2})
+        pipeline.train(TRAIN_JS)
+        path = str(tmp_path / "model.json")
+        pipeline.save(path)
+        reloaded = Pipeline.load(path)
+        model = reloaded.learner.model
+        assert model.pair_weights == pipeline.learner.model.pair_weights
+        for key in model.pair_weights:
+            assert all(isinstance(part, int) for part in key)
 
     def test_word2vec_save_load_identical_predictions(self, tmp_path):
         pipeline = Pipeline(language="javascript", learner="word2vec", sgns=SGNS)

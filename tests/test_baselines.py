@@ -14,8 +14,9 @@ from repro.baselines import (
     token_stream_contexts,
     token_stream_pairs,
 )
+from repro.core.interning import DEFAULT_SPACE
 from repro.lang.base import parse_source
-from repro.tasks.variable_naming import element_groups
+from repro.tasks.variable_naming import decode_w2v_token, element_groups
 
 from fixtures import COUNT_JAVA, FIG1_JS
 
@@ -23,8 +24,8 @@ from fixtures import COUNT_JAVA, FIG1_JS
 class TestNoPaths:
     def test_all_relations_collapse(self, fig1_ast):
         graph = build_no_paths_graph(fig1_ast)
-        rels = {f.rel for n in graph.unknowns for f in n.known}
-        rels |= {r for n in graph.unknowns for r in n.unary}
+        rels = {graph.decode_rel(f.rel) for n in graph.unknowns for f in n.known}
+        rels |= {graph.decode_rel(r) for n in graph.unknowns for r in n.unary}
         assert rels == {"*"}
 
     def test_same_elements_as_paths(self, fig1_ast):
@@ -35,14 +36,18 @@ class TestNoPaths:
 class TestNgram:
     def test_graph_relations_are_offsets(self, count_java_ast):
         graph = build_ngram_graph(COUNT_JAVA, count_java_ast, "java", n=4)
-        rels = {f.rel for n in graph.unknowns for f in n.known}
+        rels = {graph.decode_rel(f.rel) for n in graph.unknowns for f in n.known}
         assert rels and all(r.startswith("g") for r in rels)
         offsets = {int(r[1:]) for r in rels}
         assert offsets <= set(range(-3, 4)) - {0}
 
     def test_window_limits_offsets(self, count_java_ast):
         graph = build_ngram_graph(COUNT_JAVA, count_java_ast, "java", n=2)
-        offsets = {int(f.rel[1:]) for node in graph.unknowns for f in node.known}
+        offsets = {
+            int(graph.decode_rel(f.rel)[1:])
+            for node in graph.unknowns
+            for f in node.known
+        }
         assert offsets <= {-1, 1}
 
     def test_unknown_edges_between_variables(self, count_java_ast):
@@ -103,8 +108,8 @@ d = true;
         node = graph.unknowns[0]
         # No relation may span from the while-condition to the assignment;
         # the longest possible in-statement path here is within Assign=.
-        assert all("While" not in f.rel for f in node.known)
-        assert all("While" not in r for r in node.unary)
+        assert all("While" not in graph.decode_rel(f.rel) for f in node.known)
+        assert all("While" not in graph.decode_rel(r) for r in node.unary)
 
     def test_in_statement_relations_exist(self, count_java_ast):
         graph = build_unuglify_graph(count_java_ast)
@@ -177,12 +182,14 @@ class TestW2vBaselines:
         contexts = path_neighbor_contexts(fig1_ast)
         _gold, tokens = next(iter(contexts.values()))
         assert tokens
-        assert all(t.startswith("*\x1d") for t in tokens)
+        decoded = [decode_w2v_token(t, DEFAULT_SPACE) for t in tokens]
+        assert all(t.startswith("*\x1d") for t in decoded)
 
     def test_neighbor_contexts_keep_ancestor_kinds(self, fig1_ast):
         contexts = path_neighbor_contexts(fig1_ast)
         _gold, tokens = next(iter(contexts.values()))
-        assert any(t == "*\x1dWhile" for t in tokens)
+        decoded = [decode_w2v_token(t, DEFAULT_SPACE) for t in tokens]
+        assert any(t == "*\x1dWhile" for t in decoded)
 
     def test_neighbor_pairs(self, fig1_ast):
         pairs = path_neighbor_pairs(fig1_ast)

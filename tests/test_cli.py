@@ -51,6 +51,37 @@ class TestPathsCommand:
         assert "Toplevel" in out  # semi-path endpoint kinds appear
 
 
+class TestExtractCommand:
+    def test_extract_files_json(self, tmp_path, capsys):
+        path = tmp_path / "fig1.js"
+        path.write_text(FIG1_JS)
+        assert main(["extract", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["files"] == 1
+        assert summary["paths"] > 0
+        assert summary["unique_paths"] > 0
+        assert summary["language"] == "javascript"
+
+    def test_extract_show_prints_contexts(self, tmp_path, capsys):
+        path = tmp_path / "fig1.js"
+        path.write_text(FIG1_JS)
+        assert main(["extract", str(path), "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "SymbolRef↑UnaryPrefix!↑While↓If↓Assign=↓SymbolRef" in out
+
+    def test_extract_generated_corpus(self, capsys):
+        assert main(
+            ["extract", "--language", "javascript", "--projects", "2", "--json"]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["files"] > 1
+        assert summary["nodes_per_second"] > 0
+
+    def test_extract_without_input_exits(self):
+        with pytest.raises(SystemExit):
+            main(["extract"])
+
+
 class TestExperimentCommand:
     def test_mini_experiment(self, capsys):
         code = main(

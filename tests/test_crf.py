@@ -42,9 +42,9 @@ class TestGraph:
 
     def test_unknown_factor_stores_both_directions(self):
         graph = tiny_graph()
-        assert graph.unknowns[0].edges[0].rel == "relAB"
+        assert graph.decode_rel(graph.unknowns[0].edges[0].rel) == "relAB"
         assert graph.unknowns[0].edges[0].other == 1
-        assert graph.unknowns[1].edges[0].rel == "relBA"
+        assert graph.decode_rel(graph.unknowns[1].edges[0].rel) == "relBA"
         assert graph.unknowns[1].edges[0].other == 0
 
     def test_self_edge_rejected(self):
@@ -62,8 +62,8 @@ class TestModelScoring:
     def test_node_score_sums_matching_weights(self):
         graph = tiny_graph()
         model = CrfModel()
-        model.pair_weights[("done", "relA", "true")] = 2.0
-        model.unary_weights[("done", "selfA")] = 0.5
+        model.pair_weights[model.pair_key("done", "relA", "true")] = 2.0
+        model.unary_weights[model.unary_key("done", "selfA")] = 0.5
         score = model.node_score(graph.unknowns[0], "done", ["done", "count"])
         # pairwise known + unknown edge (weight 0) + unary
         assert score == pytest.approx(2.5)
@@ -71,15 +71,15 @@ class TestModelScoring:
     def test_unary_disabled(self):
         graph = tiny_graph()
         model = CrfModel(use_unary=False)
-        model.unary_weights[("done", "selfA")] = 5.0
+        model.unary_weights[model.unary_key("done", "selfA")] = 5.0
         score = model.node_score(graph.unknowns[0], "done", ["done", "count"])
         assert score == 0.0
 
     def test_assignment_score(self):
         graph = tiny_graph()
         model = CrfModel()
-        model.pair_weights[("done", "relA", "true")] = 1.0
-        model.pair_weights[("count", "relB", "0")] = 1.0
+        model.pair_weights[model.pair_key("done", "relA", "true")] = 1.0
+        model.pair_weights[model.pair_key("count", "relB", "0")] = 1.0
         assert model.assignment_score(graph, ["done", "count"]) == pytest.approx(2.0)
 
     def test_candidates_come_from_observed_contexts(self):
@@ -92,8 +92,8 @@ class TestModelScoring:
 
     def test_top_features_interpretability(self):
         model = CrfModel()
-        model.pair_weights[("done", "rel", "true")] = 3.0
-        model.unary_weights[("done", "self")] = -1.0
+        model.pair_weights[model.pair_key("done", "rel", "true")] = 3.0
+        model.unary_weights[model.unary_key("done", "self")] = -1.0
         top = model.top_features(2)
         assert "done" in top[0][0]
         assert top[0][1] == 3.0
@@ -102,20 +102,20 @@ class TestModelScoring:
 class TestModelPersistence:
     def test_save_load_roundtrip(self, tmp_path):
         model = CrfModel()
-        model.pair_weights[("a", "r", "b")] = 1.5
-        model.unary_weights[("a", "u")] = -0.5
-        model.label_counts["a"] = 3
+        model.pair_weights[model.pair_key("a", "r", "b")] = 1.5
+        model.unary_weights[model.unary_key("a", "u")] = -0.5
+        model.label_counts[model.label_id("a")] = 3
         path = os.path.join(tmp_path, "model.json")
         model.save(path)
         loaded = CrfModel.load(path)
-        assert loaded.pair_weights[("a", "r", "b")] == 1.5
-        assert loaded.unary_weights[("a", "u")] == -0.5
-        assert loaded.label_counts["a"] == 3
+        assert loaded.pair_weights[loaded.pair_key("a", "r", "b")] == 1.5
+        assert loaded.unary_weights[loaded.unary_key("a", "u")] == -0.5
+        assert loaded.label_counts[loaded.label_id("a")] == 3
 
     def test_num_parameters(self):
         model = CrfModel()
-        model.pair_weights[("a", "r", "b")] = 1.0
-        model.unary_weights[("a", "u")] = 1.0
+        model.pair_weights[model.pair_key("a", "r", "b")] = 1.0
+        model.unary_weights[model.unary_key("a", "u")] = 1.0
         assert model.num_parameters() == 2
 
 
@@ -125,8 +125,8 @@ class TestInference:
         model = CrfModel()
         for node in graph.unknowns:
             model.observe_training_node(node, graph)
-        model.pair_weights[("done", "relA", "true")] = 2.0
-        model.pair_weights[("count", "relB", "0")] = 2.0
+        model.pair_weights[model.pair_key("done", "relA", "true")] = 2.0
+        model.pair_weights[model.pair_key("count", "relB", "0")] = 2.0
         assignment = map_inference(model, graph)
         assert assignment == ["done", "count"]
 
@@ -143,8 +143,8 @@ class TestInference:
         for node in graph.unknowns:
             model.observe_training_node(node, graph)
         # Strong coupling: 'done' with 'count' across the edge.
-        model.pair_weights[("done", "relAB", "count")] = 5.0
-        model.pair_weights[("count", "relBA", "done")] = 5.0
+        model.pair_weights[model.pair_key("done", "relAB", "count")] = 5.0
+        model.pair_weights[model.pair_key("count", "relBA", "done")] = 5.0
         assignment = map_inference(model, graph)
         assert assignment == ["done", "count"]
 
@@ -153,9 +153,9 @@ class TestInference:
         model = CrfModel()
         for node in graph.unknowns:
             model.observe_training_node(node, graph)
-        model.pair_weights[("done", "relA", "true")] = 2.0
-        model.pair_weights[("flag", "relA", "true")] = 1.0
-        model.label_counts["flag"] = 1
+        model.pair_weights[model.pair_key("done", "relA", "true")] = 2.0
+        model.pair_weights[model.pair_key("flag", "relA", "true")] = 1.0
+        model.label_counts[model.label_id("flag")] = 1
         ranked = topk_for_node(model, graph, 0, k=3)
         scores = [s for _, s in ranked]
         assert scores == sorted(scores, reverse=True)

@@ -29,8 +29,9 @@ class TestCandidates:
         index = graph.add_unknown("e", gold="g")
         graph.add_known_factor(index, "rel", "neighbor")
         model = CrfModel()
+        context = (model.rel_id("rel"), model.label_id("neighbor"))
         for i in range(100):
-            model.candidate_index[("rel", "neighbor")][f"label{i}"] = 100 - i
+            model.candidate_index[context][model.label_id(f"label{i}")] = 100 - i
         candidates = model.candidates_for(graph.unknowns[0], ["?"], beam=10)
         assert len(candidates) == 10
         assert candidates[0] == "label0"
@@ -39,7 +40,7 @@ class TestCandidates:
         graph = CrfGraph()
         graph.add_unknown("e", gold="g")
         model = CrfModel()
-        model.label_counts.update({"common": 50, "rare": 1})
+        model.label_counts.update({model.label_id("common"): 50, model.label_id("rare"): 1})
         candidates = model.candidates_for(graph.unknowns[0], ["?"])
         assert "common" in candidates
 
@@ -48,7 +49,7 @@ class TestCandidates:
         index = graph.add_unknown("e", gold="g")
         graph.add_unary_factor(index, "selfrel")
         model = CrfModel()
-        model.unary_candidate_index["selfrel"]["fromunary"] = 5
+        model.unary_candidate_index[model.rel_id("selfrel")][model.label_id("fromunary")] = 5
         candidates = model.candidates_for(graph.unknowns[0], ["?"])
         assert "fromunary" in candidates
 

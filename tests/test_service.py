@@ -1,0 +1,118 @@
+"""Tests for the corpus-level ExtractionService."""
+
+import pytest
+
+from repro.core.extraction import ExtractionConfig, PathExtractor
+from repro.core.interning import FeatureSpace
+from repro.core.service import ExtractionService
+from repro.corpus import generate_corpus
+from repro.corpus.generator import CorpusConfig
+from repro.lang.base import parse_source
+
+
+def corpus_sources(language="javascript", n_projects=2, seed=13):
+    files = generate_corpus(CorpusConfig(language=language, n_projects=n_projects, seed=seed))
+    return [f.source for f in files]
+
+
+class TestMemoization:
+    def test_repeat_extraction_hits_cache(self, fig1_ast):
+        service = ExtractionService(config=ExtractionConfig())
+        first = service.extract(fig1_ast)
+        second = service.extract(fig1_ast)
+        assert second is first
+        assert service.stats.asts == 1
+        assert service.stats.cache_hits == 1
+
+    def test_results_match_bare_extractor(self, fig1_ast):
+        space = FeatureSpace()
+        service = ExtractionService(config=ExtractionConfig(), space=space)
+        bare = PathExtractor(ExtractionConfig(), space=space)
+        a = [(e.rel_id, e.start_value_id, e.end_value_id) for e in service.extract(fig1_ast)]
+        b = [(e.rel_id, e.start_value_id, e.end_value_id) for e in bare.extract(fig1_ast)]
+        assert a == b
+
+    def test_bind_space_drops_memo(self, fig1_ast):
+        service = ExtractionService(config=ExtractionConfig())
+        first = service.extract(fig1_ast)
+        service.bind_space(FeatureSpace())
+        second = service.extract(fig1_ast)
+        assert second is not first
+        assert service.stats.asts == 2
+
+    def test_extract_many_shares_vocab(self):
+        sources = corpus_sources(n_projects=1)
+        service = ExtractionService(config=ExtractionConfig(), space=FeatureSpace())
+        asts = [parse_source("javascript", s) for s in sources]
+        service.extract_many(asts)
+        # Every emitted id decodes through the one shared space.
+        for ast in asts:
+            for e in service.extract(ast):
+                assert service.space.paths.value(e.rel_id) == e.context.path
+
+
+class TestIndexSources:
+    def test_sequential_stats(self):
+        sources = corpus_sources()
+        service = ExtractionService(config=ExtractionConfig(), space=FeatureSpace())
+        result = service.index_sources(sources, "javascript")
+        assert result.files == len(sources)
+        assert result.paths == sum(len(c) for c in result.contexts)
+        assert result.paths > 0
+        assert result.nodes > 0
+        summary = result.summary()
+        assert summary["unique_paths"] == len(service.space.paths)
+        assert summary["files"] == len(sources)
+
+    def test_triples_decode(self):
+        sources = corpus_sources(n_projects=1)
+        service = ExtractionService(config=ExtractionConfig(), space=FeatureSpace())
+        result = service.index_sources(sources, "javascript")
+        space = result.space
+        for start_id, rel_id, end_id in result.contexts[0]:
+            assert space.values.value(start_id)
+            assert space.paths.value(rel_id)
+
+    def test_parallel_matches_sequential(self):
+        """Workers return strings; parent interning keeps ids identical."""
+        sources = corpus_sources()
+        sequential = ExtractionService(
+            config=ExtractionConfig(), space=FeatureSpace()
+        ).index_sources(sources, "javascript", workers=1)
+        parallel = ExtractionService(
+            config=ExtractionConfig(), space=FeatureSpace()
+        ).index_sources(sources, "javascript", workers=2)
+        assert parallel.contexts == sequential.contexts
+        assert parallel.space.to_dict() == sequential.space.to_dict()
+
+    def test_unpicklable_config_falls_back_to_sequential(self):
+        sources = corpus_sources(n_projects=1)
+        service = ExtractionService(
+            config=ExtractionConfig(leaf_filter=lambda leaf: True),
+            space=FeatureSpace(),
+        )
+        result = service.index_sources(sources, "javascript", workers=4)
+        assert result.workers == 1
+        assert result.files == len(sources)
+
+
+class TestExtractorFacade:
+    def test_duck_types_as_extractor(self, fig1_ast):
+        from repro.tasks.variable_naming import build_crf_graph
+
+        service = ExtractionService(config=ExtractionConfig(), space=FeatureSpace())
+        graph = build_crf_graph(fig1_ast, service)
+        assert graph.space is service.space
+        assert len(graph) == 1
+
+    def test_config_and_space_exposed(self):
+        service = ExtractionService(config=ExtractionConfig(max_length=5))
+        assert service.config.max_length == 5
+        assert service.space is service.extractor.space
+
+    def test_extractor_and_config_are_exclusive(self):
+        with pytest.raises(ValueError):
+            ExtractionService(
+                extractor=PathExtractor(ExtractionConfig()),
+                config=ExtractionConfig(),
+            )

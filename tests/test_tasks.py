@@ -9,6 +9,7 @@ from repro.tasks.type_prediction import build_type_graph, typed_targets
 from repro.tasks.variable_naming import (
     PLACEHOLDER,
     build_crf_graph,
+    decode_w2v_token,
     element_contexts,
     element_groups,
     extract_w2v_pairs,
@@ -35,14 +36,15 @@ class TestVariableNamingGraph:
         graph = build_crf_graph(fig1_ast, extractor())
         node = graph.unknowns[0]
         assert node.unary  # d occurs three times -> paths between them
-        assert "SymbolRef↑UnaryPrefix!↑While↓If↓Assign=↓SymbolRef" in node.unary
+        decoded = {graph.decode_rel(rel) for rel in node.unary}
+        assert "SymbolRef↑UnaryPrefix!↑While↓If↓Assign=↓SymbolRef" in decoded
 
     def test_known_factors_exclude_own_name(self, fig1_ast):
         """The element's own value must never appear as a feature label of
         its own factors (no gold leakage)."""
         graph = build_crf_graph(fig1_ast, extractor())
         node = graph.unknowns[0]
-        assert all(f.label != "d" for f in node.known)
+        assert all(graph.decode_value(f.label) != "d" for f in node.known)
 
     def test_unknown_unknown_edges(self):
         ast = parse_source("javascript", "function f(a, b) { return a + b; }")
@@ -52,7 +54,7 @@ class TestVariableNamingGraph:
 
     def test_no_paths_abstraction_collapses_relations(self, fig1_ast):
         graph = build_crf_graph(fig1_ast, extractor(abstraction="no-path"))
-        rels = {f.rel for n in graph.unknowns for f in n.known}
+        rels = {graph.decode_rel(f.rel) for n in graph.unknowns for f in n.known}
         assert rels == {"*"}
 
 
@@ -65,14 +67,21 @@ class TestVariableNamingW2v:
         assert tokens
 
     def test_self_contexts_excluded(self, fig1_ast):
-        contexts = element_contexts(fig1_ast, extractor())
+        ex = extractor()
+        contexts = element_contexts(fig1_ast, ex)
         _gold, tokens = next(iter(contexts.values()))
-        assert all(not t.endswith("\x1dd") for t in tokens)
+        decoded = [decode_w2v_token(t, ex.space) for t in tokens]
+        assert all(not t.endswith("\x1dd") for t in decoded)
 
     def test_other_unknowns_masked(self):
         ast = parse_source("javascript", "function f(a, b) { return a + b; }")
-        contexts = element_contexts(ast, extractor())
-        all_tokens = [t for _g, toks in contexts.values() for t in toks]
+        ex = extractor()
+        contexts = element_contexts(ast, ex)
+        all_tokens = [
+            decode_w2v_token(t, ex.space)
+            for _g, toks in contexts.values()
+            for t in toks
+        ]
         # b is an unknown; it must appear only as the placeholder.
         assert all(not t.endswith("\x1db") for t in all_tokens)
         assert any(t.endswith(f"\x1d{PLACEHOLDER}") for t in all_tokens)

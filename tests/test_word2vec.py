@@ -176,3 +176,21 @@ class TestPersistence:
         assert predictor.predict(["c_flag"]) == ContextPredictor(model).predict(
             ["c_flag"]
         )
+
+    def test_save_load_roundtrip_id_pair_tokens(self, tmp_path):
+        """Interned (rel_id, value_id) context tokens survive the .npz
+        round trip as int tuples (not stringified numpy rows)."""
+        import os
+
+        pairs = [("done", (0, 1)), ("count", (2, 3))] * 40
+        model, _ = train_sgns(pairs, SgnsConfig(dim=8, epochs=3))
+        path = os.path.join(tmp_path, "sgns_ids.npz")
+        model.save(path)
+        loaded = SgnsModel.load(path)
+        assert loaded.contexts.token_to_id == model.contexts.token_to_id
+        assert all(
+            isinstance(t, tuple) and all(isinstance(p, int) for p in t)
+            for t in loaded.contexts.id_to_token
+        )
+        predictor = ContextPredictor(loaded)
+        assert predictor.predict([(0, 1)]) == ContextPredictor(model).predict([(0, 1)])
