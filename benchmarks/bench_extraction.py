@@ -7,18 +7,18 @@ extractors on the synthetic JavaScript corpus, at two granularities:
 * **module** -- each project's files concatenated (hundreds of
   terminals), where the all-pairs loop's quadratic term dominates.
 
-Emits ``benchmarks/results/BENCH_extraction.json`` with nodes/sec for
-both engines and the speedup, and **fails if the single-pass engine is
-slower than the reference** -- this file runs in the CI smoke job as the
-perf gate for the extraction engine.
+Emits ``BENCH_extraction.json`` (into the gitignored results directory,
+see ``conftest.results_dir``) with nodes/sec for both engines and the
+speedup, and **fails if the single-pass engine is slower than the
+reference** -- this file runs in the CI smoke job as the perf gate for
+the extraction engine, and ``compare_bench.py`` tracks its numbers
+against the committed baselines.
 """
 
-import json
-import os
 import time
 from collections import defaultdict
 
-from conftest import RESULTS_DIR, emit
+from conftest import emit, emit_json
 from repro.core.extraction import (
     ExtractionConfig,
     PathExtractor,
@@ -109,11 +109,7 @@ def run_all(js_data):
 def test_extraction_speed(benchmark, js_data):
     table, report = benchmark.pedantic(run_all, args=(js_data,), rounds=1, iterations=1)
     emit("extraction_engine", table)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(RESULTS_DIR, "BENCH_extraction.json"), "w", encoding="utf-8"
-    ) as handle:
-        json.dump(report, handle, indent=2)
+    emit_json("BENCH_extraction", report)
 
     # CI gate: the single-pass engine must never be slower than the
     # reference, at either granularity.

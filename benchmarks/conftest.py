@@ -11,6 +11,7 @@ benchmark modules via session-scoped fixtures.
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
 
@@ -20,7 +21,33 @@ from repro.corpus.generator import CorpusConfig
 from repro.eval.harness import PreparedData, prepare_language_data
 from repro.learning.crf import TrainingConfig
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: Where benchmark artifacts (tables, BENCH_*.json) land.  Defaults to
+#: the gitignored ``benchmarks/results/``; CI (and anyone who wants the
+#: artifacts out of the tree entirely) points ``PIGEON_BENCH_RESULTS``
+#: elsewhere.  Every benchmark writes through :func:`results_dir` /
+#: :func:`emit` / :func:`emit_json` -- never directly into the repo.
+RESULTS_DIR = os.environ.get(
+    "PIGEON_BENCH_RESULTS", os.path.join(os.path.dirname(__file__), "results")
+)
+
+
+def results_dir() -> str:
+    """The (created) benchmark output directory."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Persist one machine-readable benchmark report (``<name>.json``).
+
+    The ``BENCH_*.json`` files written here are what CI uploads as
+    artifacts and what ``benchmarks/compare_bench.py`` gates against the
+    committed baselines.
+    """
+    path = os.path.join(results_dir(), f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
 
 #: Benchmark corpus per language: large enough for paper-like shapes,
 #: small enough that the whole suite runs in minutes.
@@ -64,9 +91,8 @@ def csharp_data() -> PreparedData:
 
 
 def emit(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+    """Print a result table and persist it in the results directory."""
     print()
     print(text)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+    with open(os.path.join(results_dir(), f"{name}.txt"), "w", encoding="utf-8") as fh:
         fh.write(text + "\n")

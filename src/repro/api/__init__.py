@@ -9,7 +9,7 @@ architecture, and :mod:`repro.registry` for the registry mechanism.
 
 from ..registry import Registry, UnknownPluginError
 from .learners import CrfLearner, Word2vecLearner, learners
-from .pipeline import PIPELINE_FORMAT, Pipeline, PipelineStats
+from .pipeline import PIPELINE_FORMAT, Pipeline, PipelineStats, ScoringHandle
 from .protocols import (
     CONTEXTS_VIEW,
     GRAPH_VIEW,
@@ -47,6 +47,7 @@ __all__ = [
     "Registry",
     "Representation",
     "RunSpec",
+    "ScoringHandle",
     "Task",
     "TokenContextRepresentation",
     "UnknownPluginError",

@@ -26,6 +26,7 @@ Baselines are the same one-line change the paper describes::
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -195,6 +196,23 @@ class Pipeline:
         return print_source(program.ast)
 
     # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def scoring_handle(self) -> "ScoringHandle":
+        """A read-only scoring view for the serving layer.
+
+        Freezes this pipeline's :class:`~repro.core.interning.FeatureSpace`
+        (after which direct ``train`` is off the table and any attempt to
+        intern a new string outside an overlay raises
+        :class:`~repro.core.interning.FrozenVocabError`) and returns a
+        handle whose ``predict`` / ``suggest`` intern each request through
+        a throwaway overlay space.  The shared state is therefore
+        immutable under any amount of concurrent traffic, and per-request
+        vocab growth is reclaimed when the request finishes.
+        """
+        return ScoringHandle(self)
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
@@ -240,3 +258,111 @@ class Pipeline:
         if space is not None and rebind is not None:
             rebind(space)
         return pipeline
+
+
+class ScoringHandle:
+    """Read-only prediction over a trained pipeline with a frozen space.
+
+    The handle is what a server holds: the trained weights and their
+    feature space become immutable at construction, and every scoring
+    call builds its feature view against a fresh
+    :meth:`~repro.core.interning.FeatureSpace.overlay`, so
+
+    * base ids never shift -- predictions are bit-identical to the
+      mutable ``Pipeline.predict`` path (unseen features miss the weight
+      tables under either id assignment);
+    * nothing a request interns outlives the request -- the resident
+      footprint is bounded no matter how much traffic flows through;
+    * concurrent readers share nothing mutable except the representation
+      instance, which a lock confines to one scoring call at a time
+      (scoring is pure-Python CPU work, so the lock costs nothing that
+      the GIL was not already charging).
+    """
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        if not pipeline.learner.trained:
+            raise RuntimeError(
+                "scoring_handle() needs a trained pipeline: call train() "
+                "or Pipeline.load() first"
+            )
+        self.pipeline = pipeline
+        self.spec = pipeline.spec
+        self._base_space = pipeline.space
+        if self._base_space is not None:
+            self._base_space.freeze()
+        self._lock = threading.Lock()
+
+    @property
+    def cell(self) -> str:
+        return self.spec.cell()
+
+    @property
+    def service(self):
+        """The underlying extraction service (None for token-stream reps)."""
+        return self.pipeline.service
+
+    def extraction_stats(self) -> dict:
+        """Extraction counters for the serving ``/stats`` route."""
+        service = self.service
+        return service.memo_stats() if service is not None else {}
+
+    def fingerprinted(self, source: str) -> Tuple[ParsedProgram, str]:
+        """Parse once: the program and its structural AST digest.
+
+        Parsing does not intern, so this is safe outside the scoring
+        lock; two sources differing only in layout share a digest, and
+        (unlike the 32-bit terminal-sequence ``ast_fingerprint``, which
+        only seeds downsampling) structurally different programs never
+        do.  The server uses the digest as its response-cache key and,
+        on a cache miss, hands the already-parsed program back to
+        :meth:`predict` so the source is not parsed twice.
+        """
+        from ..core.extraction import ast_digest
+
+        program = self.pipeline.parse(source)
+        return program, ast_digest(program.ast)
+
+    def fingerprint(self, source: str) -> str:
+        """The request's structural AST digest (the response-cache key)."""
+        return self.fingerprinted(source)[1]
+
+    def predict(
+        self, source: str, program: Optional[ParsedProgram] = None
+    ) -> Dict[str, str]:
+        """element key -> predicted label (read-only, overlay-interned)."""
+        return self._score(source, k=None, program=program)
+
+    def suggest(
+        self, source: str, k: int = 5, program: Optional[ParsedProgram] = None
+    ) -> Dict[str, List[Tuple[str, float]]]:
+        """element key -> top-k (label, score) (read-only, overlay-interned)."""
+        return self._score(source, k=k, program=program)
+
+    def _score(
+        self, source: str, k: Optional[int], program: Optional[ParsedProgram] = None
+    ):
+        pipeline = self.pipeline
+        if program is None:
+            program = pipeline.parse(source)
+        with self._lock:
+            rebind = getattr(pipeline.representation, "bind_space", None)
+            overlaid = self._base_space is not None and rebind is not None
+            if overlaid:
+                # Rebinding invalidates the extractor's shape/flip caches
+                # each request -- a deliberate trade: request sources are
+                # small (tens of shapes to re-encode), and the guarantee
+                # that no overlay-local id ever leaks into a cache shared
+                # with the next request is what keeps concurrent scoring
+                # sound.  A base-id-only persistent cache could recover
+                # the warmth (see ROADMAP).
+                rebind(self._base_space.overlay())
+            try:
+                view = pipeline.view(program)
+                if k is None:
+                    return pipeline.learner.predict(view)
+                return pipeline.learner.suggest(view, k=k)
+            finally:
+                if overlaid:
+                    # Leave the pipeline bound to the frozen base, never
+                    # to a request's dead overlay.
+                    rebind(self._base_space)

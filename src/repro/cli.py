@@ -9,6 +9,10 @@ Usage::
                                                   # stats (optionally --workers N)
     python -m repro.cli train --model m.json ...  # train + save a pipeline
     python -m repro.cli predict --model m.json <file> [--top K]
+    python -m repro.cli predict --server URL <file>
+                                                  # thin client against a
+                                                  # running prediction server
+    python -m repro.cli serve --model m.json      # async batched HTTP server
     python -m repro.cli rename <file> [...]       # deobfuscate (trains on a
                                                   # generated corpus first)
     python -m repro.cli experiment <language>     # run a mini experiment
@@ -194,20 +198,93 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    pipeline = Pipeline.load(args.model)
+    if args.server and args.model:
+        raise SystemExit("pass either --model (local) or --server (remote), not both")
     source = _read(args.file)
-    result = {
-        "file": args.file,
-        "cell": pipeline.spec.cell(),
-    }
-    if args.top:
-        result["suggestions"] = {
-            key: [[label, score] for label, score in ranked]
-            for key, ranked in pipeline.suggest(source, k=args.top).items()
+    if args.server:
+        from .serving.client import ServingClient, ServingError
+
+        # Infer the routing language from the file extension like every
+        # local subcommand does; an unknown extension stays None and the
+        # server resolves it (or reports ambiguity) itself.
+        language = args.language or _EXTENSION_LANGUAGES.get(
+            os.path.splitext(args.file)[1]
+        )
+        with ServingClient(args.server) as client:
+            try:
+                response = client.predict(
+                    source,
+                    language=language,
+                    task=args.task,
+                    top=args.top,
+                )
+            except ServingError as error:
+                raise SystemExit(f"error: {error}") from error
+        result = dict({"file": args.file}, **response)
+    elif args.model:
+        pipeline = Pipeline.load(args.model)
+        result = {
+            "file": args.file,
+            "cell": pipeline.spec.cell(),
         }
+        if args.top:
+            result["suggestions"] = {
+                key: [[label, score] for label, score in ranked]
+                for key, ranked in pipeline.suggest(source, k=args.top).items()
+            }
+        else:
+            result["predictions"] = pipeline.predict(source)
     else:
-        result["predictions"] = pipeline.predict(source)
+        raise SystemExit("pass --model FILE or --server URL")
     print(json.dumps(result, indent=2))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serving import ModelHost, PredictionServer
+
+    host = ModelHost(args.model, workers=args.workers)
+    server = PredictionServer(
+        host,
+        address=args.host,
+        port=args.port,
+        batch_size=args.batch_size,
+        batch_wait_ms=args.batch_wait_ms,
+        cache_size=args.cache_size,
+    )
+
+    async def _serve() -> None:
+        import signal
+
+        await server.start()
+        print(
+            f"serving {', '.join(host.cells())} on {server.url} "
+            f"(workers={host.workers}, batch={server.batcher.batch_size}"
+            f"/{args.batch_wait_ms}ms, cache={server.cache.capacity})",
+            file=sys.stderr,
+        )
+        # SIGINT and SIGTERM both mean "drain and leave": without a
+        # handler SIGTERM would kill mid-batch, and a shell-backgrounded
+        # process may have SIGINT masked entirely.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread / non-Unix: Ctrl-C still works
+        try:
+            await stop.wait()
+        finally:
+            print("draining in-flight requests...", file=sys.stderr)
+            await server.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -301,11 +378,87 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=8)
     train.set_defaults(func=cmd_train)
 
-    predict = sub.add_parser("predict", help="predict with a saved model, emit JSON")
+    predict = sub.add_parser(
+        "predict",
+        help="predict with a saved model (or against a server), emit JSON",
+        epilog=(
+            "examples:\n"
+            "  pigeon predict --model m.json program.js\n"
+            "  pigeon predict --model m.json program.js --top 5\n"
+            "  pigeon predict --server http://localhost:8017 program.js\n"
+            "  pigeon predict --server localhost:8017 --task method_naming f.py\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     predict.add_argument("file")
-    predict.add_argument("--model", required=True, help="model file from 'train'")
+    predict.add_argument("--model", default=None, help="model file from 'train'")
+    predict.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="act as a thin client against a running 'pigeon serve' instance",
+    )
+    predict.add_argument(
+        "--language", default=None, help="route to this language (--server mode)"
+    )
+    predict.add_argument(
+        "--task", default=None, help="route to this task (--server mode)"
+    )
     predict.add_argument("--top", type=int, default=0, help="emit top-K suggestions")
     predict.set_defaults(func=cmd_predict)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve saved models over async batched HTTP",
+        epilog=(
+            "examples:\n"
+            "  pigeon train --model m.json --language javascript\n"
+            "  pigeon serve --model m.json --port 8017\n"
+            "  pigeon serve --model vars.json --model methods.json --workers 4\n"
+            "\n"
+            "  curl -s localhost:8017/healthz\n"
+            "  curl -s localhost:8017/stats\n"
+            "  curl -s -X POST localhost:8017/predict \\\n"
+            "       -d '{\"source\": \"var a = b + 1;\"}'\n"
+            "\n"
+            "requests are micro-batched (--batch-size / --batch-wait-ms) and\n"
+            "responses are cached by AST fingerprint (--cache-size), so\n"
+            "duplicate submissions skip extraction and inference entirely.\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        help="saved model file from 'train'; repeat to serve several "
+        "(language, task) cells from one server",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8017, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="pre-warmed scoring processes (0 = score in-process)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=8, help="max requests per micro-batch"
+    )
+    serve.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=2.0,
+        help="max milliseconds a batch waits to fill before scoring",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="response-cache entries, keyed on AST fingerprint x task "
+        "(0 disables caching)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     rename = sub.add_parser("rename", help="predict names and print renamed source")
     rename.add_argument("file")

@@ -7,10 +7,19 @@ from .extraction import (
     ExtractionConfig,
     PathExtractor,
     ReferencePathExtractor,
+    ast_digest,
     ast_fingerprint,
     extract_path_contexts,
 )
-from .interning import DEFAULT_SPACE, ContextVocab, FeatureSpace, PathVocab, Vocab
+from .interning import (
+    DEFAULT_SPACE,
+    ContextVocab,
+    FeatureSpace,
+    FrozenVocabError,
+    OverlayVocab,
+    PathVocab,
+    Vocab,
+)
 from .path_context import PathContext, make_path_context
 from .paths import DOWN, UP, AstPath, NWisePath, path_between, semi_path
 from .pigeon import Pigeon
@@ -30,7 +39,9 @@ __all__ = [
     "ExtractionService",
     "ExtractionStats",
     "FeatureSpace",
+    "FrozenVocabError",
     "NWisePath",
+    "OverlayVocab",
     "Node",
     "PathContext",
     "PathExtractor",
@@ -39,6 +50,7 @@ __all__ = [
     "ReferencePathExtractor",
     "UP",
     "Vocab",
+    "ast_digest",
     "ast_fingerprint",
     "extract_path_contexts",
     "get_abstraction",

@@ -146,6 +146,9 @@ def ast_fingerprint(ast: Ast) -> int:
     Used to derive the per-AST downsampling seed: it depends only on the
     tree's own content (language, leaf kinds and values), never on object
     identity or processing order, so it is reproducible across processes.
+    Collisions are harmless here (two colliding trees merely share a
+    sample seed) -- anything that needs response *identity* must use
+    :func:`ast_digest` instead.
     """
     hasher = zlib.crc32(ast.language.encode("utf-8"))
     for leaf in ast.leaves:
@@ -153,6 +156,41 @@ def ast_fingerprint(ast: Ast) -> int:
         if leaf.value is not None:
             hasher = zlib.crc32(leaf.value.encode("utf-8"), hasher)
     return hasher & 0xFFFFFFFF
+
+
+def ast_digest(ast: Ast) -> str:
+    """A structural content digest of one tree (the serving cache key).
+
+    Unlike :func:`ast_fingerprint`, which hashes only the terminal
+    sequence into 32 bits, this covers the *full* tree -- every node's
+    kind, value and position in the structure -- with a 128-bit digest,
+    so two programs share a digest only when their ASTs are identical
+    (layout and formatting differences still collapse, because they
+    never reach the tree).  ``var x = a + b * c;`` and
+    ``var x = (a + b) * c;`` have equal terminal sequences but different
+    digests.
+    """
+    import hashlib
+
+    hasher = hashlib.blake2b(ast.language.encode("utf-8"), digest_size=16)
+    # Iterative preorder with explicit close markers: the marker stream
+    # reconstructs the tree shape unambiguously, and no recursion limit
+    # applies however deep a parsed expression nests.
+    stack: List[Tuple[Node, bool]] = [(ast.root, False)]
+    while stack:
+        node, closing = stack.pop()
+        if closing:
+            hasher.update(b")")
+            continue
+        hasher.update(b"(")
+        hasher.update(node.kind.encode("utf-8"))
+        if node.value is not None:
+            hasher.update(b"\x00")
+            hasher.update(node.value.encode("utf-8"))
+        stack.append((node, True))
+        for child in reversed(node.children):
+            stack.append((child, False))
+    return hasher.hexdigest()
 
 
 class PathExtractor:

@@ -34,14 +34,25 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
+class FrozenVocabError(RuntimeError):
+    """A new string reached a vocabulary after :meth:`Vocab.freeze`.
+
+    Raised instead of silently growing, because frozen vocabularies back
+    the serving read path: their ids are shared by concurrent readers and
+    must never shift.  Intern through an :class:`OverlayVocab` (see
+    :meth:`FeatureSpace.overlay`) to handle unseen strings.
+    """
+
+
 class Vocab:
     """Append-only bidirectional string <-> dense-int map."""
 
-    __slots__ = ("_ids", "_values")
+    __slots__ = ("_ids", "_values", "_frozen")
 
     def __init__(self, values: Sequence[str] = ()) -> None:
         self._values: List[str] = []
         self._ids: Dict[str, int] = {}
+        self._frozen = False
         for value in values:
             self.intern(value)
 
@@ -50,10 +61,24 @@ class Vocab:
         existing = self._ids.get(value)
         if existing is not None:
             return existing
+        if self._frozen:
+            raise FrozenVocabError(
+                f"vocabulary is frozen; cannot intern new value {value!r} "
+                f"(use an overlay for read-path interning)"
+            )
         new_id = len(self._values)
         self._ids[value] = new_id
         self._values.append(value)
         return new_id
+
+    def freeze(self) -> "Vocab":
+        """Make the vocabulary immutable (interning unseen strings raises)."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
 
     def id_of(self, value: str) -> Optional[int]:
         """The id of ``value`` if already interned, else ``None``."""
@@ -82,6 +107,74 @@ class Vocab:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({len(self)} entries)"
+
+
+class OverlayVocab(Vocab):
+    """A copy-on-write view over a frozen base vocabulary.
+
+    Reads resolve through the base first, so every string the base knows
+    keeps its base id.  Unseen strings intern *locally*, with ids starting
+    at ``len(base)``; the base is never touched.  This is the serving read
+    path: one frozen base shared by every request, one throwaway overlay
+    per request, zero contention and zero unbounded growth.
+
+    Local ids of two different overlays over the same base may collide
+    with each other -- that is fine, because local ids never appear in
+    model weights (the model only knows base ids) and overlays are never
+    shared across requests.
+    """
+
+    __slots__ = ("_base", "_base_len")
+
+    def __init__(self, base: Vocab) -> None:
+        super().__init__()
+        self._base = base
+        self._base_len = len(base)
+
+    @property
+    def base(self) -> Vocab:
+        return self._base
+
+    def intern(self, value: str) -> int:
+        base_id = self._base.id_of(value)
+        if base_id is not None:
+            return base_id
+        local = self._ids.get(value)
+        if local is not None:
+            return self._base_len + local
+        if self._frozen:
+            raise FrozenVocabError(
+                f"overlay vocabulary is frozen; cannot intern {value!r}"
+            )
+        new_id = len(self._values)
+        self._ids[value] = new_id
+        self._values.append(value)
+        return self._base_len + new_id
+
+    def id_of(self, value: str) -> Optional[int]:
+        base_id = self._base.id_of(value)
+        if base_id is not None:
+            return base_id
+        local = self._ids.get(value)
+        return None if local is None else self._base_len + local
+
+    def value(self, value_id: int) -> str:
+        if value_id < self._base_len:
+            return self._base.value(value_id)
+        return self._values[value_id - self._base_len]
+
+    def __len__(self) -> int:
+        return self._base_len + len(self._values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._base or value in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._base
+        yield from self._values
+
+    def to_list(self) -> List[str]:
+        return list(self)
 
 
 class PathVocab(Vocab):
@@ -140,6 +233,30 @@ class FeatureSpace:
             self.paths.value(rel_id),
             self.values.value(end_id),
         )
+
+    # ------------------------------------------------------------------
+    # Freezing and overlays (the serving read path)
+    # ------------------------------------------------------------------
+    def freeze(self) -> "FeatureSpace":
+        """Freeze both vocabularies; unseen strings now raise
+        :class:`FrozenVocabError` unless interned through an overlay."""
+        self.paths.freeze()
+        self.values.freeze()
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self.paths.frozen and self.values.frozen
+
+    def overlay(self) -> "FeatureSpace":
+        """A throwaway space layered over this one.
+
+        Base ids are preserved; unseen strings get overlay-local ids at
+        ``len(base)`` and beyond, without mutating this space.  One
+        overlay per request keeps concurrent readers contention-free and
+        the base space bounded.
+        """
+        return FeatureSpace(OverlayVocab(self.paths), OverlayVocab(self.values))
 
     # ------------------------------------------------------------------
     # Persistence

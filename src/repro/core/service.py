@@ -45,6 +45,17 @@ class ExtractionStats:
     def nodes_per_second(self) -> float:
         return self.nodes / self.seconds if self.seconds > 0 else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready counters (what the serving ``/stats`` route reports)."""
+        return {
+            "asts": self.asts,
+            "cache_hits": self.cache_hits,
+            "paths": self.paths,
+            "nodes": self.nodes,
+            "seconds": round(self.seconds, 4),
+            "nodes_per_second": round(self.nodes_per_second, 1),
+        }
+
 
 @dataclass
 class CorpusExtraction:
@@ -121,6 +132,16 @@ class ExtractionService:
         """Re-target the shared vocab (drops memoized id-bearing records)."""
         self.extractor.bind_space(space)
         self._memo.clear()
+
+    def memo_stats(self) -> dict:
+        """Lifetime counters plus the live memo size.
+
+        The serving layer shares this snapshot through ``/stats``: a
+        response-cache hit never reaches the service, so ``asts`` staying
+        flat across duplicate requests is the observable proof that
+        cached responses skip extraction entirely.
+        """
+        return dict(self.stats.to_dict(), memoized_asts=len(self._memo))
 
     def context_for(self, path, start_value=None, end_value=None):
         return self.extractor.context_for(path, start_value, end_value)

@@ -1,0 +1,184 @@
+"""Micro-batching between the event loop and the scoring backend.
+
+The server's connection handlers are I/O-bound coroutines; scoring is
+CPU-bound and happens off the loop.  :class:`MicroBatcher` sits between
+them: requests queue up while a batch is in flight, and the consumer
+dispatches up to ``batch_size`` of them (or whatever arrived within
+``batch_wait_ms`` of the first -- whichever fills first) as one call.
+Under load this amortises executor round-trips and keeps the accept loop
+responsive; at low traffic the wait bound keeps added latency to a few
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, List, Optional, Tuple
+
+#: Queue sentinel: everything before it drains, then the consumer exits.
+_STOP = object()
+
+#: Return marker of :meth:`MicroBatcher._next` when the wait timed out.
+_TIMEOUT = object()
+
+
+class BatcherClosed(RuntimeError):
+    """A request arrived after :meth:`MicroBatcher.close` began draining."""
+
+
+class MicroBatcher:
+    """Collect items into batches and hand each batch to one handler call.
+
+    ``handler`` is an async callable ``List[item] -> List[result]``
+    returning one result per item, in order.  Results (or the batch's
+    exception) resolve each submitter's future individually.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[List[Any]], Awaitable[List[Any]]],
+        batch_size: int = 8,
+        batch_wait_ms: float = 2.0,
+        max_queue: int = 1024,
+    ) -> None:
+        self.handler = handler
+        self.batch_size = max(1, int(batch_size))
+        self.batch_wait = max(0.0, float(batch_wait_ms)) / 1000.0
+        self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=max(1, int(max_queue)))
+        self._consumer: Optional[asyncio.Task] = None
+        self._getter: Optional["asyncio.Future"] = None
+        self._closing = False
+        self.batches = 0
+        self.items = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._consumer is None:
+            self._consumer = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        """Drain: refuse new work, score everything queued, then stop."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._consumer is not None:
+            await self._queue.put(_STOP)
+            await self._consumer
+            self._consumer = None
+        # A submit() that raced the sentinel may have parked an entry
+        # behind it; fail those out instead of stranding their futures.
+        while not self._queue.empty():
+            entry = self._queue.get_nowait()
+            if entry is _STOP:
+                continue
+            _item, future = entry
+            if not future.done():
+                future.set_exception(
+                    BatcherClosed("batcher drained while the item was queued")
+                )
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (excluding the in-flight batch)."""
+        return self._queue.qsize()
+
+    def stats(self) -> dict:
+        return {
+            "batch_size": self.batch_size,
+            "batch_wait_ms": round(self.batch_wait * 1000, 3),
+            "batches": self.batches,
+            "items": self.items,
+            "largest_batch": self.largest_batch,
+            "mean_batch": round(self.items / self.batches, 2) if self.batches else 0.0,
+            "queued": self.depth,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, item: Any) -> Any:
+        """Queue one item and wait for its result."""
+        if self._closing:
+            raise BatcherClosed("batcher is draining; not accepting new work")
+        if self._consumer is None:
+            self.start()
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        await self._queue.put((item, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    async def _next(self, timeout: Optional[float]) -> Any:
+        """The next queue entry, or :data:`_TIMEOUT` when none arrives.
+
+        A single getter task persists across timeouts (``asyncio.wait``
+        never cancels it), so an item can never be lost to the
+        cancel-versus-delivery race that ``wait_for(queue.get())`` has on
+        Python < 3.12.
+        """
+        if self._getter is None:
+            self._getter = asyncio.ensure_future(self._queue.get())
+        if timeout is None:
+            entry = await self._getter
+        else:
+            done, _pending = await asyncio.wait({self._getter}, timeout=timeout)
+            if not done:
+                return _TIMEOUT
+            entry = self._getter.result()
+        self._getter = None
+        return entry
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._next(None)
+            if first is _STOP:
+                return
+            batch: List[Tuple[Any, "asyncio.Future"]] = [first]
+            stop_after = False
+            deadline = loop.time() + self.batch_wait
+            while len(batch) < self.batch_size:
+                remaining = deadline - loop.time()
+                # timeout=0 after the window closes: items already queued
+                # still ride this batch (they are free), later ones wait.
+                entry = await self._next(max(0.0, remaining))
+                if entry is _TIMEOUT:
+                    if remaining <= 0:
+                        break
+                    continue
+                if entry is _STOP:
+                    stop_after = True
+                    break
+                batch.append(entry)
+            await self._dispatch(batch)
+            if stop_after:
+                return
+
+    async def _dispatch(self, batch: List[Tuple[Any, "asyncio.Future"]]) -> None:
+        items = [item for item, _future in batch]
+        self.batches += 1
+        self.items += len(items)
+        self.largest_batch = max(self.largest_batch, len(items))
+        try:
+            results = await self.handler(items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results "
+                    f"for {len(items)} items"
+                )
+        except Exception as error:  # noqa: BLE001 - forwarded to callers
+            for _item, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_item, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)

@@ -1,0 +1,110 @@
+"""A small blocking client for the prediction server.
+
+Used three ways: by the serving test-suite, by ``pigeon predict
+--server URL`` (the thin-client mode of the CLI), and by the serving
+benchmark's load generator.  One :class:`ServingClient` holds one
+keep-alive connection; create one per thread when generating load.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+
+class ServingError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and decoded payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServingClient:
+    """Blocking JSON-over-HTTP access to a :class:`PredictionServer`."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parsed = urlparse(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"only http:// served; got {url!r}")
+        if not parsed.hostname:
+            raise ValueError(f"no host in server URL {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 8017
+        self._connection = HTTPConnection(self.host, self.port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One raw round-trip (the escape hatch malformed-request tests use)."""
+        send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        try:
+            self._connection.request(method, path, body=body, headers=send_headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (HTTPException, ConnectionError, OSError):
+            # The server closes the socket after protocol-level 4xx; a
+            # fresh connection keeps the client usable.
+            self._connection.close()
+            raise
+        if response.will_close:
+            self._connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        return response.status, payload
+
+    def _json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        status, decoded = self.request(method, path, body=body)
+        if status != 200:
+            raise ServingError(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        source: str,
+        language: Optional[str] = None,
+        task: Optional[str] = None,
+        top: int = 0,
+    ) -> dict:
+        """POST /predict; returns the server's JSON response."""
+        payload: Dict[str, Any] = {"source": source}
+        if language is not None:
+            payload["language"] = language
+        if task is not None:
+            payload["task"] = task
+        if top:
+            payload["top"] = top
+        return self._json("POST", "/predict", payload)
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

@@ -1,0 +1,465 @@
+"""The asyncio HTTP prediction server (stdlib only).
+
+``PredictionServer`` wires the serving pieces together around one event
+loop:
+
+* connections are accepted and parsed as HTTP/1.1 with keep-alive;
+* ``POST /predict`` requests are routed to a model, fingerprinted
+  (:func:`~repro.core.extraction.ast_digest` of the parsed source,
+  computed off-loop), and answered from the LRU response cache when the
+  same program x task was already scored;
+* cache misses join the :class:`~repro.serving.batching.MicroBatcher`
+  queue and fan out to the :class:`~repro.serving.host.ModelHost`;
+  concurrent duplicates of an in-flight request coalesce onto the same
+  scoring future instead of being scored twice;
+* ``GET /healthz`` and ``GET /stats`` report liveness and counters;
+* shutdown is graceful: the listener closes first, queued work drains
+  through the batcher, then open connections finish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from .batching import BatcherClosed, MicroBatcher
+from .cache import LruCache
+from .host import ModelHost, PredictRequest
+
+#: Request body / header-block size bounds (a serving DoS guard, not a
+#: feature limit: a 1 MiB source file is far beyond corpus file sizes).
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_BYTES = 16 << 10
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpRequest:
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+class _BadRequest(Exception):
+    """Unparseable HTTP; answered with the status and the connection closed."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class PredictionServer:
+    """One model host behind a micro-batched, cached asyncio HTTP server."""
+
+    def __init__(
+        self,
+        host: ModelHost,
+        address: str = "127.0.0.1",
+        port: int = 8017,
+        batch_size: int = 8,
+        batch_wait_ms: float = 2.0,
+        cache_size: int = 1024,
+    ) -> None:
+        self.host = host
+        self.address = address
+        self.port = port
+        self.cache = LruCache(cache_size)
+        self.batcher = MicroBatcher(
+            self.host.score_batch, batch_size=batch_size, batch_wait_ms=batch_wait_ms
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight: Dict[Tuple, "asyncio.Future"] = {}
+        self._connection_tasks: set = set()
+        self._connections = 0
+        self._active_requests = 0
+        self._requests = 0
+        self._predictions = 0
+        self._coalesced = 0
+        self._errors = 0
+        self._draining = False
+        self._started_monotonic = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Warm the workers, start batching, bind the listener."""
+        self.host.start()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.address, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish everything in flight."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Everything already queued scores before the batcher stops.
+        await self.batcher.close()
+        # ... and every response for an accepted request is written out
+        # before the loop may be torn down (idle keep-alive connections
+        # are not waited for -- the drain covers requests, not sockets).
+        deadline = time.monotonic() + 30.0
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        # Idle keep-alive connections are parked in _read_request; cancel
+        # them now so no handler coroutine outlives the event loop (a
+        # GC'd pending handler would try to close its transport on a
+        # dead loop).
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        self.host.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.address}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as error:
+                    await self._respond(
+                        writer, error.status, {"error": str(error)}, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                self._requests += 1
+                self._active_requests += 1
+                try:
+                    status, payload = await self._route(request)
+                    if status >= 400:
+                        self._errors += 1
+                    await self._respond(
+                        writer, status, payload, keep_alive=request.keep_alive
+                    )
+                finally:
+                    self._active_requests -= 1
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[_HttpRequest]:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError) as error:
+            raise _BadRequest(400, f"oversized request line: {error}") from error
+        if not request_line:
+            return None  # clean EOF between keep-alive requests
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(400, "malformed HTTP request line")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError) as error:
+                raise _BadRequest(413, f"oversized header line: {error}") from error
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise _BadRequest(413, "header block too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest(400, f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length_header = headers.get("content-length", "0")
+        try:
+            content_length = int(length_header)
+        except ValueError:
+            raise _BadRequest(400, f"bad Content-Length {length_header!r}")
+        if content_length > MAX_BODY_BYTES:
+            # Drain (a bounded amount of) the declared body first, so the
+            # client finishes sending and receives the 413 instead of a
+            # connection reset mid-upload.
+            try:
+                await reader.readexactly(min(content_length, 8 * MAX_BODY_BYTES))
+            except asyncio.IncompleteReadError:
+                pass
+            raise _BadRequest(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        if content_length > 0:
+            body = await reader.readexactly(content_length)
+        return _HttpRequest(method, path.split("?", 1)[0], headers, body)
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, request: _HttpRequest) -> Tuple[int, dict]:
+        if request.path == "/predict":
+            if request.method != "POST":
+                return 405, {"error": "use POST /predict"}
+            return await self._predict(request)
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return 405, {"error": "use GET /healthz"}
+            return self._healthz()
+        if request.path == "/stats":
+            if request.method != "GET":
+                return 405, {"error": "use GET /stats"}
+            return 200, self.stats()
+        return 404, {
+            "error": f"unknown path {request.path!r}; "
+            f"routes: POST /predict, GET /healthz, GET /stats"
+        }
+
+    def _healthz(self) -> Tuple[int, dict]:
+        status = "draining" if self._draining else "ok"
+        return (503 if self._draining else 200), {
+            "status": status,
+            "models": self.host.cells(),
+            "workers": self.host.workers,
+            "uptime_seconds": round(self._uptime(), 3),
+        }
+
+    def stats(self) -> dict:
+        extraction = {
+            handle.cell: handle.extraction_stats()
+            for handle in self.host.handles.values()
+        }
+        return {
+            "uptime_seconds": round(self._uptime(), 3),
+            "connections": self._connections,
+            "requests": self._requests,
+            "predictions": self._predictions,
+            "coalesced": self._coalesced,
+            "errors": self._errors,
+            "draining": self._draining,
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats(),
+            "extraction": extraction,
+        }
+
+    def _uptime(self) -> float:
+        if not self._started_monotonic:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    # The /predict pipeline
+    # ------------------------------------------------------------------
+    async def _predict(self, request: _HttpRequest) -> Tuple[int, dict]:
+        if self._draining:
+            return 503, {"error": "server is draining; retry elsewhere"}
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"body is not valid JSON: {error}"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "body must be a JSON object"}
+        source = payload.get("source")
+        if not isinstance(source, str) or not source.strip():
+            return 400, {"error": "field 'source' (non-empty string) is required"}
+        language = payload.get("language")
+        task = payload.get("task")
+        for field_name, value in (("language", language), ("task", task)):
+            if value is not None and not isinstance(value, str):
+                return 400, {"error": f"field {field_name!r} must be a string"}
+        top = payload.get("top", 0)
+        if not isinstance(top, int) or isinstance(top, bool) or top < 0:
+            return 400, {"error": "field 'top' must be a non-negative integer"}
+        unknown = sorted(set(payload) - {"source", "language", "task", "top"})
+        if unknown:
+            return 400, {"error": f"unknown fields: {', '.join(unknown)}"}
+
+        try:
+            handle = self.host.resolve(language, task)
+        except LookupError as error:
+            return 404, {"error": str(error)}
+
+        loop = asyncio.get_running_loop()
+        try:
+            program, fingerprint = await loop.run_in_executor(
+                None, handle.fingerprinted, source
+            )
+        except Exception as error:  # noqa: BLE001 - parser errors are user input
+            return 400, {"error": f"cannot parse source: {error}"}
+
+        key = (handle.cell, top, fingerprint)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return 200, dict(cached, cached=True)
+
+        spec = handle.spec
+        scoring = PredictRequest(
+            source=source,
+            language=spec.language,
+            task=spec.task,
+            top=top,
+            # In-process scoring reuses the parse that produced the
+            # fingerprint; worker-pool requests re-parse in the worker
+            # rather than pickling an AST across the process boundary.
+            program=program if self.host.workers == 0 else None,
+        )
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # A bit-identical request is already being scored: share its
+            # result instead of paying for a second extraction.
+            self._coalesced += 1
+            try:
+                result = await asyncio.shield(inflight)
+            except asyncio.CancelledError:
+                return 503, {"error": "server is draining; retry elsewhere"}
+            except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
+                return 500, {"error": f"scoring failed: {error}"}
+            if "error" in result:
+                return 500, {"error": f"scoring failed: {result['error']}"}
+            return 200, dict(result, cached=True)
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await self.batcher.submit(scoring)
+            if "error" not in result:
+                result = dict(result, fingerprint=fingerprint)
+            future.set_result(result)  # coalescers see failures too
+        except BatcherClosed:
+            future.cancel()
+            return 503, {"error": "server is draining; retry elsewhere"}
+        except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
+            future.set_exception(error)
+            future.exception()  # consumed: the HTTP response carries it
+            return 500, {"error": f"scoring failed: {error}"}
+        finally:
+            self._inflight.pop(key, None)
+        if "error" in result:
+            # This item failed in isolation (its batchmates are fine);
+            # nothing is cached for it so a retry scores fresh.
+            return 500, {"error": f"scoring failed: {result['error']}"}
+        self.cache.put(key, result)
+        self._predictions += 1
+        return 200, dict(result, cached=False)
+
+
+class ServerThread:
+    """Run a :class:`PredictionServer` on a background event loop.
+
+    The context manager used by tests, the benchmark and anything else
+    that wants a live server inside a synchronous program::
+
+        with ServerThread(server) as url:
+            ServingClient(url).predict(source)
+
+    Exit performs the same graceful drain as the CLI's signal handler.
+    """
+
+    def __init__(self, server: PredictionServer) -> None:
+        self.server = server
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> str:
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 60s")
+        return self.server.url
+
+    def __exit__(self, *_exc_info) -> None:
+        if self.loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.server.shutdown(), self.loop).result(
+            timeout=60
+        )
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as error:  # noqa: BLE001 - reported to __enter__
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()

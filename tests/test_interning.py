@@ -6,7 +6,15 @@ import os
 import pytest
 
 from repro.core.extraction import ExtractionConfig, PathExtractor
-from repro.core.interning import DEFAULT_SPACE, ContextVocab, FeatureSpace, PathVocab, Vocab
+from repro.core.interning import (
+    DEFAULT_SPACE,
+    ContextVocab,
+    FeatureSpace,
+    FrozenVocabError,
+    OverlayVocab,
+    PathVocab,
+    Vocab,
+)
 from repro.learning.crf import CrfGraph, CrfModel, CrfTrainer, TrainingConfig, map_inference
 from repro.tasks.variable_naming import build_crf_graph, element_contexts
 from repro.lang.base import parse_source
@@ -167,3 +175,73 @@ class TestW2vIdPairs:
             assert isinstance(rel_id, int) and isinstance(value_id, int)
             assert space.paths.value(rel_id)  # decodes
             assert space.values.value(value_id)
+
+
+class TestFreeze:
+    def test_frozen_vocab_rejects_new_strings(self):
+        vocab = Vocab(["a", "b"])
+        vocab.freeze()
+        assert vocab.frozen
+        assert vocab.intern("a") == 0  # known strings still resolve
+        with pytest.raises(FrozenVocabError):
+            vocab.intern("c")
+
+    def test_freeze_space_freezes_both_vocabs(self):
+        space = FeatureSpace()
+        space.encode_context("x", "A↑B", "y")
+        assert not space.frozen
+        space.freeze()
+        assert space.frozen and space.paths.frozen and space.values.frozen
+        with pytest.raises(FrozenVocabError):
+            space.encode_context("x", "NEW", "y")
+
+    def test_frozen_space_round_trips(self):
+        space = FeatureSpace()
+        space.encode_context("x", "A↑B", "y")
+        space.freeze()
+        restored = FeatureSpace.from_dict(space.to_dict())
+        assert restored.to_dict() == space.to_dict()
+        assert not restored.frozen  # freezing is runtime state, not data
+
+
+class TestOverlay:
+    def test_base_ids_preserved(self):
+        base = Vocab(["a", "b"])
+        overlay = OverlayVocab(base)
+        assert overlay.intern("a") == 0
+        assert overlay.intern("b") == 1
+        assert overlay.id_of("b") == 1
+
+    def test_unseen_strings_get_local_ids_without_touching_base(self):
+        base = Vocab(["a", "b"])
+        base.freeze()
+        overlay = OverlayVocab(base)
+        assert overlay.intern("c") == 2
+        assert overlay.intern("d") == 3
+        assert overlay.intern("c") == 2
+        assert len(base) == 2 and "c" not in base
+        assert overlay.value(2) == "c" and overlay.value(0) == "a"
+        assert len(overlay) == 4
+        assert list(overlay) == ["a", "b", "c", "d"]
+        assert "c" in overlay and "e" not in overlay
+        assert overlay.id_of("e") is None
+
+    def test_two_overlays_are_independent(self):
+        base = Vocab(["a"])
+        base.freeze()
+        first, second = OverlayVocab(base), OverlayVocab(base)
+        assert first.intern("x") == 1
+        assert second.intern("y") == 1  # local ids may collide across overlays
+        assert first.id_of("y") is None and second.id_of("x") is None
+
+    def test_space_overlay(self):
+        space = FeatureSpace()
+        triple = space.encode_context("x", "A↑B", "y")
+        space.freeze()
+        overlay = space.overlay()
+        # known strings keep their base ids, new ones stay local
+        assert overlay.encode_context("x", "A↑B", "y") == triple
+        new_triple = overlay.encode_context("x", "NEW", "z")
+        assert overlay.decode_context(new_triple) == ("x", "NEW", "z")
+        assert "NEW" not in space.paths and "z" not in space.values
+        assert space.frozen  # base untouched and still frozen
