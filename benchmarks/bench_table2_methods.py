@@ -36,7 +36,7 @@ def eval_conv_attention(java_data):
     return accuracy.as_percent(), 100.0 * f1.f1
 
 
-def run_all(js_data, java_data, python_data):
+def run_all(js_data, java_data, python_data, js_module_data):
     rows = []
 
     js_no_paths = evaluate_crf(
@@ -67,6 +67,14 @@ def run_all(js_data, java_data, python_data):
         )
     )
 
+    js_paths_mod = evaluate_crf(
+        js_module_data, method_graph_builder(12, 4), training_config=BENCH_TRAINING,
+        name="js methods paths (modules)",
+    )
+    rows.append(
+        ("JavaScript  AST paths, modules", f"{js_paths_mod.accuracy:.1f}%", "", "-")
+    )
+
     py_no_paths = evaluate_crf(
         python_data, method_graph_builder(10, 6, abstraction="no-path"),
         training_config=BENCH_TRAINING, name="python methods no-paths",
@@ -85,9 +93,11 @@ def run_all(js_data, java_data, python_data):
     )
 
 
-def test_table2_methods(benchmark, js_data, java_data, python_data):
+def test_table2_methods(benchmark, js_data, java_data, python_data, js_module_data):
     table = benchmark.pedantic(
-        run_all, args=(js_data, java_data, python_data), rounds=1, iterations=1
+        run_all, args=(js_data, java_data, python_data, js_module_data),
+        rounds=1, iterations=1,
     )
     emit("table2_methods", table)
     assert "ConvAttention" in table
+    assert "modules" in table

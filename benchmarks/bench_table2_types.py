@@ -20,7 +20,7 @@ def _gold_types(ast):
     return {node.key: node.gold for node in graph.unknowns}
 
 
-def run_all(java_data):
+def run_all(java_data, java_module_data):
     naive = evaluate_prediction_map(
         java_data,
         lambda f, a: {key: NAIVE_TYPE for key in _gold_types(a)},
@@ -31,9 +31,14 @@ def run_all(java_data):
         java_data, type_graph_builder(4, 1), training_config=BENCH_TRAINING,
         name="type paths",
     )
+    paths_mod = evaluate_crf(
+        java_module_data, type_graph_builder(4, 1), training_config=BENCH_TRAINING,
+        name="type paths (modules)",
+    )
     rows = [
         ("naive java.lang.String", f"{naive.accuracy:.1f}%", "24.1%"),
         ("AST paths (4/1)", f"{paths.accuracy:.1f}%", "69.1%"),
+        ("AST paths (4/1), modules", f"{paths_mod.accuracy:.1f}%", "-"),
     ]
     return format_table(
         "Table 2 (bottom): full type prediction, Java",
@@ -42,7 +47,10 @@ def run_all(java_data):
     )
 
 
-def test_table2_types(benchmark, java_data):
-    table = benchmark.pedantic(run_all, args=(java_data,), rounds=1, iterations=1)
+def test_table2_types(benchmark, java_data, java_module_data):
+    table = benchmark.pedantic(
+        run_all, args=(java_data, java_module_data), rounds=1, iterations=1
+    )
     emit("table2_types", table)
     assert "java.lang.String" in table
+    assert "modules" in table

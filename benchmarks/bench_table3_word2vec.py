@@ -29,14 +29,16 @@ def _cell(representation, js_data, name):
     return evaluate_spec(spec, js_data, name=name)
 
 
-def run_all(js_data):
+def run_all(js_data, js_module_data):
     tokens = _cell("token-context", js_data, "linear token-stream")
     neighbors = _cell("no-paths", js_data, "path-neighbours, no-paths")
     paths = _cell("ast-paths", js_data, "AST paths")
+    paths_mod = _cell("ast-paths", js_module_data, "AST paths (modules)")
     rows = [
         ("linear token-stream + word2vec", f"{tokens.accuracy:.1f}%", "20.6%"),
         ("path-neighbours, no-paths + word2vec", f"{neighbors.accuracy:.1f}%", "23.2%"),
         ("AST paths + word2vec", f"{paths.accuracy:.1f}%", "40.4%"),
+        ("AST paths + word2vec, modules", f"{paths_mod.accuracy:.1f}%", "-"),
     ]
     return format_table(
         "Table 3: variable naming with word2vec (JavaScript)",
@@ -45,7 +47,10 @@ def run_all(js_data):
     )
 
 
-def test_table3_word2vec(benchmark, js_data):
-    table = benchmark.pedantic(run_all, args=(js_data,), rounds=1, iterations=1)
+def test_table3_word2vec(benchmark, js_data, js_module_data):
+    table = benchmark.pedantic(
+        run_all, args=(js_data, js_module_data), rounds=1, iterations=1
+    )
     emit("table3_word2vec", table)
     assert "AST paths + word2vec" in table
+    assert "modules" in table

@@ -49,6 +49,10 @@ TRACKED: Dict[str, List[str]] = {
         "server_duplicated.cache_hit_rate",
         "speedup_vs_sequential",
     ],
+    "BENCH_sharding.json": [
+        "large.build_files_per_second",
+        "memory.stream_headroom",
+    ],
 }
 
 

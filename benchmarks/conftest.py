@@ -13,12 +13,15 @@ from __future__ import annotations
 
 import json
 import os
+from collections import defaultdict
 from functools import lru_cache
 
 import pytest
 
-from repro.corpus.generator import CorpusConfig
+from repro.corpus.generator import CorpusConfig, CorpusFile
+from repro.corpus.splits import split_corpus
 from repro.eval.harness import PreparedData, prepare_language_data
+from repro.lang.base import parse_source
 from repro.learning.crf import TrainingConfig
 
 #: Where benchmark artifacts (tables, BENCH_*.json) land.  Defaults to
@@ -88,6 +91,91 @@ def python_data() -> PreparedData:
 @pytest.fixture(scope="session")
 def csharp_data() -> PreparedData:
     return _prepare("csharp")
+
+
+# ----------------------------------------------------------------------
+# Module-sized corpora: each project's files concatenated into one unit
+# (hundreds of terminals instead of tens), the granularity where the
+# paper's corpora live.  The table benchmarks run their headline cell at
+# this granularity too, next to the file-sized rows.
+# ----------------------------------------------------------------------
+
+_MODULE_EXTENSIONS = {"javascript": "js", "java": "java", "python": "py", "csharp": "cs"}
+
+
+def concat_module_sources(language: str, sources: list) -> str:
+    """Concatenate one project's files into a single parsable unit.
+
+    Java and C# keep their compilation-unit layout: one package
+    declaration / hoisted deduplicated imports (``using`` directives)
+    first, then every file's type declarations.
+    """
+    if language == "java":
+        package, imports, bodies = None, [], []
+        for source in sources:
+            body = []
+            for line in source.splitlines():
+                stripped = line.strip()
+                if stripped.startswith("package "):
+                    package = package or line
+                elif stripped.startswith("import "):
+                    if line not in imports:
+                        imports.append(line)
+                else:
+                    body.append(line)
+            bodies.append("\n".join(body).strip("\n"))
+        head = ([package, ""] if package else []) + imports + [""]
+        return "\n".join(head) + "\n" + "\n\n".join(bodies)
+    if language == "csharp":
+        usings, bodies = [], []
+        for source in sources:
+            body = []
+            for line in source.splitlines():
+                if line.startswith("using ") and line.rstrip().endswith(";"):
+                    if line not in usings:
+                        usings.append(line)
+                else:
+                    body.append(line)
+            bodies.append("\n".join(body).strip("\n"))
+        return "\n".join(usings) + "\n\n" + "\n\n".join(bodies)
+    return "\n\n".join(sources)
+
+
+def module_sized(data: PreparedData) -> PreparedData:
+    """A prepared corpus re-cut at module granularity (one file/project)."""
+    projects = defaultdict(list)
+    for file in data.split.train + data.split.validation + data.split.test:
+        projects[file.project].append(file)
+    extension = _MODULE_EXTENSIONS[data.language]
+    files = [
+        CorpusFile(
+            project=project,
+            path=f"{project}/module.{extension}",
+            source=concat_module_sources(data.language, [f.source for f in group]),
+            language=data.language,
+        )
+        for project, group in projects.items()
+    ]
+    return PreparedData(
+        language=data.language,
+        split=split_corpus(files, seed=23),
+        asts={f.path: parse_source(data.language, f.source) for f in files},
+    )
+
+
+@lru_cache(maxsize=None)
+def _prepare_modules(language: str) -> PreparedData:
+    return module_sized(_prepare(language))
+
+
+@pytest.fixture(scope="session")
+def js_module_data() -> PreparedData:
+    return _prepare_modules("javascript")
+
+
+@pytest.fixture(scope="session")
+def java_module_data() -> PreparedData:
+    return _prepare_modules("java")
 
 
 def emit(name: str, text: str) -> None:

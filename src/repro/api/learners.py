@@ -71,7 +71,14 @@ class CrfLearner(_LearnerBase):
         return self.model.space if self.model is not None else None
 
     def fit(self, views: Iterable[CrfGraph]) -> LearnerStats:
-        model, stats = CrfTrainer(self.config).train(list(views))
+        # Anything sequence-shaped (a list of graphs, or a streaming
+        # ShardedCorpus with len + random access) flows through the
+        # trainer as-is; one-shot iterables materialise once.
+        if hasattr(views, "__getitem__") and hasattr(views, "__len__"):
+            graphs = views
+        else:
+            graphs = list(views)
+        model, stats = CrfTrainer(self.config).train(graphs)
         self.model = model
         return LearnerStats(parameters=stats.parameters, train_seconds=stats.train_seconds)
 

@@ -26,6 +26,7 @@ Baselines are the same one-line change the paper describes::
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -155,8 +156,42 @@ class Pipeline:
     # ------------------------------------------------------------------
     # The PIGEON workflow
     # ------------------------------------------------------------------
-    def train(self, sources: Sequence[str]) -> PipelineStats:
-        """Train from a list of source texts with their original labels."""
+    def train(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        *,
+        shards: Optional[object] = None,
+        merged: Optional[object] = None,
+        cache_shards: int = 2,
+    ) -> PipelineStats:
+        """Train from source texts, or stream a sharded corpus.
+
+        ``sources`` is the in-memory path: every file's feature view is
+        built (and held) before the learner fits.  ``shards`` accepts a
+        shard directory, a list of shard paths, or an opened
+        :class:`~repro.shards.ShardSet` built by ``pigeon shard build``
+        (or :func:`repro.shards.build_spec_shards`) for this same spec;
+        the shard-local vocabs are merged into one global space and the
+        learner fits on a :class:`~repro.shards.ShardedCorpus` that
+        decodes one shard at a time -- same model, bit for bit.  The CRF
+        learner never materialises the corpus (graphs decode per access,
+        a few shards resident); the word2vec learner streams the *views*
+        but still accumulates the derived (label, token) pair list,
+        which is compact relative to the graphs it replaces yet grows
+        with corpus size.  ``cache_shards`` bounds how many shard
+        payloads stay resident during streamed training: more memory,
+        fewer re-parses under the CRF trainer's shuffled epochs.
+        ``merged`` skips the vocab merge by reusing a
+        :class:`~repro.shards.MergedSpace` (or a manifest file written
+        by ``pigeon shard merge --out``); its provenance is checked
+        against the shard digests.
+        """
+        if (sources is None) == (shards is None):
+            raise TypeError("pass either sources or shards=, not both")
+        if merged is not None and shards is None:
+            raise TypeError("merged= only applies to shards= training")
+        if shards is not None:
+            return self._train_from_shards(shards, merged, cache_shards)
         programs = [self.parse(source, name=f"train:{i}") for i, source in enumerate(sources)]
         views = [self.view(program) for program in programs]
         learner_stats = self.learner.fit(views)
@@ -165,6 +200,67 @@ class Pipeline:
             elements_trained=sum(len(view) for view in views),
             parameters=learner_stats.parameters,
             train_seconds=learner_stats.train_seconds,
+        )
+        return self.stats
+
+    def _train_from_shards(
+        self,
+        shards: object,
+        merged: Optional[object] = None,
+        cache_shards: int = 2,
+    ) -> PipelineStats:
+        """Streamed training over a sharded corpus (see :meth:`train`)."""
+        from ..shards import MergedSpace, ShardSet, ShardedCorpus, load_manifest
+        from ..shards.build import extraction_meta
+        from ..shards.format import ShardMismatchError
+
+        shard_set = ShardSet.open(shards)
+        spec_dict = shard_set.spec_dict
+        if spec_dict is None:
+            raise ShardMismatchError(
+                f"shards of kind {shard_set.kind!r} carry no spec; training "
+                f"needs view shards from 'pigeon shard build' (not raw "
+                f"extraction shards)"
+            )
+        for axis in ("language", "task", "representation", "learner"):
+            ours = getattr(self.spec, axis)
+            theirs = spec_dict.get(axis)
+            if theirs != ours:
+                raise ShardMismatchError(
+                    f"shards were built for {axis}={theirs!r} but this "
+                    f"pipeline is {axis}={ours!r} ({self.spec.cell()})"
+                )
+        if self.space is None:
+            raise ShardMismatchError(
+                f"representation {self.spec.representation!r} has no feature "
+                f"space; sharded training needs a path-based representation"
+            )
+        ours_extraction = extraction_meta(self.service.config)
+        theirs_extraction = shard_set.meta.get("extraction")
+        if theirs_extraction != ours_extraction:
+            raise ShardMismatchError(
+                f"shards were extracted under {theirs_extraction!r} but this "
+                f"pipeline resolves to {ours_extraction!r}; rebuild the "
+                f"shards or align the spec's extraction options"
+            )
+
+        started = time.perf_counter()
+        if merged is not None and not isinstance(merged, MergedSpace):
+            merged = load_manifest(os.fspath(merged), shards=shard_set)
+        corpus = ShardedCorpus(shard_set, merged=merged, cache_shards=cache_shards)
+        # Adopt the merged global space: the learner's ids must mean the
+        # same strings as the corpus's, and predict-time extraction must
+        # intern new programs into the very same space.
+        self.representation.bind_space(corpus.space)
+        binder = getattr(self.learner, "bind_space", None)
+        if binder is not None:
+            binder(corpus.space)
+        learner_stats = self.learner.fit(corpus)
+        self.stats = PipelineStats(
+            files_trained=len(corpus),
+            elements_trained=corpus.elements,
+            parameters=learner_stats.parameters,
+            train_seconds=time.perf_counter() - started,
         )
         return self.stats
 
@@ -348,13 +444,12 @@ class ScoringHandle:
             rebind = getattr(pipeline.representation, "bind_space", None)
             overlaid = self._base_space is not None and rebind is not None
             if overlaid:
-                # Rebinding invalidates the extractor's shape/flip caches
-                # each request -- a deliberate trade: request sources are
-                # small (tens of shapes to re-encode), and the guarantee
-                # that no overlay-local id ever leaks into a cache shared
-                # with the next request is what keeps concurrent scoring
-                # sound.  A base-id-only persistent cache could recover
-                # the warmth (see ROADMAP).
+                # Rebinding swaps the request's throwaway overlay in; the
+                # extractor keeps the *base* halves of its shape/flip
+                # caches warm across these rebinds (entries referencing
+                # only frozen-base ids mean the same strings under every
+                # overlay) and discards only overlay-local entries, so no
+                # request-local id ever leaks into shared state.
                 rebind(self._base_space.overlay())
             try:
                 view = pipeline.view(program)

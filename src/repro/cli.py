@@ -7,7 +7,13 @@ Usage::
     python -m repro.cli paths <file>              # print path-contexts
     python -m repro.cli extract [files...]        # corpus-scale extraction
                                                   # stats (optionally --workers N)
+    python -m repro.cli shard build --out DIR ... # persist a corpus as shards
+    python -m repro.cli shard info DIR            # inspect/verify a shard set
+    python -m repro.cli shard merge DIR           # merge shard vocabs
     python -m repro.cli train --model m.json ...  # train + save a pipeline
+    python -m repro.cli train --model m.json --shards DIR
+                                                  # stream a sharded corpus
+                                                  # through training instead
     python -m repro.cli predict --model m.json <file> [--top K]
     python -m repro.cli predict --server URL <file>
                                                   # thin client against a
@@ -151,10 +157,12 @@ def cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
-def _training_sources(args: argparse.Namespace, language: str) -> List[str]:
+def _training_sources(
+    args: argparse.Namespace, language: str, action: str = "Training on"
+) -> List[str]:
     if args.files:
         return [_read(path) for path in args.files]
-    print(f"Training on a generated {language} corpus...", file=sys.stderr)
+    print(f"{action} a generated {language} corpus...", file=sys.stderr)
     files = generate_corpus(
         CorpusConfig(language=language, n_projects=args.projects, seed=args.seed)
     )
@@ -162,7 +170,126 @@ def _training_sources(args: argparse.Namespace, language: str) -> List[str]:
     return [f.source for f in kept]
 
 
+def cmd_shard_build(args: argparse.Namespace) -> int:
+    from .shards import build_spec_shards
+
+    if args.files:
+        language = _guess_language(args.files[0], args.language)
+    elif args.language:
+        language = args.language
+    else:
+        raise SystemExit("pass files or --language to generate a corpus")
+    # The same corpus-sourcing policy as 'pigeon train': anything else
+    # would break the bit-identity between the two commands' models.
+    sources = _training_sources(args, language, action="Sharding")
+
+    if args.kind == "triples":
+        config_kwargs = {}
+        if args.max_length is not None:
+            config_kwargs["max_length"] = args.max_length
+        if args.max_width is not None:
+            config_kwargs["max_width"] = args.max_width
+        service = ExtractionService(config=ExtractionConfig(**config_kwargs))
+        result = service.index_to_shards(
+            sources, language, args.out,
+            shard_size=args.shard_size, workers=args.workers,
+        )
+    else:
+        extraction = {}
+        if args.max_length is not None:
+            extraction["max_length"] = args.max_length
+        if args.max_width is not None:
+            extraction["max_width"] = args.max_width
+        spec = RunSpec(
+            language=language,
+            task=args.task,
+            representation=args.representation,
+            learner=args.learner,
+            extraction=extraction,
+        )
+        result = build_spec_shards(
+            spec, sources, args.out,
+            shard_size=args.shard_size, workers=args.workers,
+        )
+    summary = dict(result.summary(), language=language, kind=args.kind)
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(
+            f"{summary['shards']} shards, {summary['files']} files, "
+            f"{summary['paths']} path records -> {args.out}"
+        )
+        print(
+            f"built in {summary['seconds']:.2f}s "
+            f"({summary['files_per_second']:.0f} files/s, "
+            f"workers={summary['workers']})"
+        )
+    return 0
+
+
+def cmd_shard_info(args: argparse.Namespace) -> int:
+    from .shards import ShardSet
+
+    shard_set = ShardSet.open(args.shards)
+    if args.verify:
+        for reader in shard_set:
+            reader.verify()
+    summary = shard_set.summary()
+    if args.json:
+        summary["verified"] = bool(args.verify)
+        summary["spec"] = shard_set.spec_dict
+        summary["shard_files"] = [
+            {"path": r.path, "shard_index": r.shard_index, "files": r.files}
+            for r in shard_set
+        ]
+        print(json.dumps(summary, indent=2))
+    else:
+        spec = shard_set.spec_dict
+        cell = (
+            f"{spec['language']}/{spec['task']}/{spec['representation']}/{spec['learner']}"
+            if spec
+            else f"{summary['language']} (raw extraction)"
+        )
+        verified = " (digests verified)" if args.verify else ""
+        print(
+            f"{summary['shards']} {summary['kind']} shards for {cell}: "
+            f"{summary['files']} files, {summary['paths']} path records{verified}"
+        )
+        for reader in shard_set:
+            print(
+                f"  shard {reader.shard_index:>3}  {reader.files:>5} files  "
+                f"{reader.meta.get('paths', 0):>8} paths  {reader.path}"
+            )
+    return 0
+
+
+def cmd_shard_merge(args: argparse.Namespace) -> int:
+    from .shards import ShardSet, VocabMerger, save_manifest
+
+    shard_set = ShardSet.open(args.shards)
+    merged = VocabMerger().merge(shard_set)
+    summary = merged.summary()
+    if args.out:
+        save_manifest(args.out, shard_set, merged)
+        summary["manifest"] = args.out
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(
+            f"merged {summary['shards']} shards: {summary['unique_paths']} "
+            f"unique paths, {summary['unique_values']} unique values"
+            + (f" -> {args.out}" if args.out else "")
+        )
+    return 0
+
+
 def cmd_train(args: argparse.Namespace) -> int:
+    if args.shards:
+        return _train_from_shards(args)
+    if args.merged:
+        raise SystemExit("--merged applies to --shards training only")
+    if not args.language:
+        raise SystemExit("pass --language (or --shards DIR, which carries it)")
     extraction = {}
     if args.max_length is not None:
         extraction["max_length"] = args.max_length
@@ -172,9 +299,9 @@ def cmd_train(args: argparse.Namespace) -> int:
     # (crf -> training, word2vec -> sgns, third-party -> its choice).
     spec = RunSpec(
         language=args.language,
-        task=args.task,
-        representation=args.representation,
-        learner=args.learner,
+        task=args.task or "variable_naming",
+        representation=args.representation or "ast-paths",
+        learner=args.learner or "crf",
         extraction=extraction,
         training={"epochs": args.epochs},
         sgns={"epochs": args.epochs},
@@ -182,19 +309,65 @@ def cmd_train(args: argparse.Namespace) -> int:
     pipeline = Pipeline(spec)
     stats = pipeline.train(_training_sources(args, args.language))
     pipeline.save(args.model)
-    print(
-        json.dumps(
-            {
-                "model": args.model,
-                "spec": spec.to_dict(),
-                "files_trained": stats.files_trained,
-                "elements_trained": stats.elements_trained,
-                "parameters": stats.parameters,
-                "train_seconds": round(stats.train_seconds, 3),
-            }
-        )
-    )
+    print(json.dumps(_train_report(args.model, spec, stats)))
     return 0
+
+
+def _train_from_shards(args: argparse.Namespace) -> int:
+    """``pigeon train --shards DIR``: stream a sharded corpus through
+    training.  The spec rides in the shard headers, so only training
+    hyper-parameters (``--epochs``) are taken from the command line."""
+    from .shards import ShardSet
+
+    if args.files:
+        raise SystemExit("pass --shards DIR or training files, not both")
+    if args.max_length is not None or args.max_width is not None:
+        raise SystemExit(
+            "error: extraction limits ride in the shard headers; rebuild "
+            "the shards with 'pigeon shard build --max-length/--max-width' "
+            "instead of passing them to train --shards"
+        )
+    shard_set = ShardSet.open(args.shards)
+    spec_dict = shard_set.spec_dict
+    if spec_dict is None:
+        raise SystemExit(
+            f"error: shards in {args.shards!r} are raw extraction shards "
+            f"(kind {shard_set.kind!r}); training needs view shards from "
+            f"'pigeon shard build'"
+        )
+    spec_dict["training"] = {"epochs": args.epochs}
+    spec_dict["sgns"] = {"epochs": args.epochs}
+    spec = RunSpec.from_dict(spec_dict)
+    # Any explicitly given axis must agree with what the shards were
+    # built for -- silently training a different cell would be worse
+    # than an error.
+    for axis in ("language", "task", "representation", "learner"):
+        given = getattr(args, axis)
+        built = getattr(spec, axis)
+        if given is not None and given != built:
+            raise SystemExit(
+                f"error: shards were built for {axis} {built!r}, "
+                f"not {given!r}"
+            )
+    pipeline = Pipeline(spec)
+    stats = pipeline.train(shards=shard_set, merged=args.merged)
+    pipeline.save(args.model)
+    print(json.dumps(_train_report(args.model, spec, stats, shards=len(shard_set))))
+    return 0
+
+
+def _train_report(model: str, spec: RunSpec, stats, shards: Optional[int] = None) -> dict:
+    report = {
+        "model": model,
+        "spec": spec.to_dict(),
+        "files_trained": stats.files_trained,
+        "elements_trained": stats.elements_trained,
+        "parameters": stats.parameters,
+        "train_seconds": round(stats.train_seconds, 3),
+    }
+    if shards is not None:
+        report["shards"] = shards
+    return report
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
@@ -364,13 +537,96 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--show", action="store_true", help="also print every context")
     extract.set_defaults(func=cmd_extract)
 
+    shard = sub.add_parser(
+        "shard",
+        help="build, inspect and merge on-disk corpus shards",
+        epilog=(
+            "examples:\n"
+            "  pigeon shard build --language javascript --out shards/ --workers 4\n"
+            "  pigeon shard build src/*.js --out shards/ --shard-size 64\n"
+            "  pigeon shard info shards/ --verify\n"
+            "  pigeon shard merge shards/ --out merged.json\n"
+            "  pigeon train --model m.json --shards shards/\n"
+            "\n"
+            "shards are independent (build them on as many cores or machines\n"
+            "as you like); merging replays their vocabularies in shard order,\n"
+            "so training over shards matches in-memory training bit for bit.\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_build = shard_sub.add_parser(
+        "build", help="extract a corpus into training-ready shard files"
+    )
+    shard_build.add_argument(
+        "files", nargs="*", help="source files (default: generated corpus)"
+    )
+    shard_build.add_argument("--out", required=True, help="output shard directory")
+    shard_build.add_argument("--language", default=None)
+    shard_build.add_argument("--task", default="variable_naming")
+    shard_build.add_argument("--representation", default="ast-paths")
+    shard_build.add_argument("--learner", default="crf")
+    shard_build.add_argument(
+        "--kind",
+        choices=("view", "triples"),
+        default="view",
+        help="view = training-ready feature views (default); "
+        "triples = raw extraction output",
+    )
+    shard_build.add_argument("--shard-size", type=int, default=32, help="files per shard")
+    shard_build.add_argument("--workers", type=int, default=1, help="one process per shard")
+    shard_build.add_argument("--max-length", type=int, default=None)
+    shard_build.add_argument("--max-width", type=int, default=None)
+    shard_build.add_argument("--projects", type=int, default=16)
+    shard_build.add_argument("--seed", type=int, default=8)
+    shard_build.add_argument("--json", action="store_true", help="emit stats as JSON")
+    shard_build.set_defaults(func=cmd_shard_build)
+
+    shard_info = shard_sub.add_parser(
+        "info", help="print a shard set's header metadata and counts"
+    )
+    shard_info.add_argument("shards", help="shard directory (or one shard file)")
+    shard_info.add_argument(
+        "--verify", action="store_true", help="also check every payload digest"
+    )
+    shard_info.add_argument("--json", action="store_true")
+    shard_info.set_defaults(func=cmd_shard_info)
+
+    shard_merge = shard_sub.add_parser(
+        "merge", help="merge shard vocabularies into one global space"
+    )
+    shard_merge.add_argument("shards", help="shard directory (or one shard file)")
+    shard_merge.add_argument(
+        "--out", default=None, help="write the merge manifest (global vocab + remaps)"
+    )
+    shard_merge.add_argument("--json", action="store_true")
+    shard_merge.set_defaults(func=cmd_shard_merge)
+
     train = sub.add_parser("train", help="train a pipeline and save it to a model file")
     train.add_argument("files", nargs="*", help="training files (default: generated corpus)")
     train.add_argument("--model", required=True, help="output model file (JSON)")
-    train.add_argument("--language", required=True, choices=supported_languages())
-    train.add_argument("--task", default="variable_naming")
-    train.add_argument("--representation", default="ast-paths")
-    train.add_argument("--learner", default="crf")
+    train.add_argument(
+        "--shards",
+        default=None,
+        metavar="DIR",
+        help="stream a sharded corpus from 'pigeon shard build' through "
+        "training instead of holding every file's features in memory",
+    )
+    train.add_argument(
+        "--merged",
+        default=None,
+        metavar="FILE",
+        help="reuse a merge manifest from 'pigeon shard merge --out' "
+        "instead of re-merging the shard vocabularies (--shards only; "
+        "provenance is checked against the shard digests)",
+    )
+    train.add_argument("--language", default=None, choices=supported_languages())
+    # None defaults (resolved in cmd_train) so that --shards can tell an
+    # explicit, possibly conflicting flag apart from "not given".
+    train.add_argument("--task", default=None, help="default: variable_naming")
+    train.add_argument("--representation", default=None, help="default: ast-paths")
+    train.add_argument("--learner", default=None, help="default: crf")
     train.add_argument("--max-length", type=int, default=None)
     train.add_argument("--max-width", type=int, default=None)
     train.add_argument("--projects", type=int, default=16)

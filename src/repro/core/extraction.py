@@ -37,7 +37,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 from .abstractions import ABSTRACTIONS, Abstraction, alpha_id, get_abstraction
 from .ast_model import Ast, Node
-from .interning import DEFAULT_SPACE, FeatureSpace
+from .interning import DEFAULT_SPACE, FeatureSpace, OverlayVocab, Vocab
 from .path_context import PathContext, endpoint_value, make_path_context
 from .paths import DOWN, UP, AstPath, path_between, semi_path
 
@@ -225,13 +225,24 @@ class PathExtractor:
         self._can_cache_flips = (
             isinstance(config.abstraction, str) and config.abstraction in ABSTRACTIONS
         )
+        # Each cache is split in two: a *base* half whose entries reference
+        # only ids of a frozen base vocabulary (safe to keep across
+        # overlay rebinds -- the serving read path), and a *local* half for
+        # everything else, discarded whenever the space changes.
         self._flip_cache: Dict[int, int] = {}
+        self._base_flip_cache: Dict[int, int] = {}
         # rel-id cache keyed by path *shape* (kind sequence + directions).
         # Sound for the named built-in abstractions, which are functions of
         # the shape alone; arbitrary callables are recomputed per path.
         self._shape_cache: Optional[Dict[tuple, int]] = (
             {} if self._can_cache_flips else None
         )
+        self._base_shape_cache: Optional[Dict[tuple, int]] = (
+            {} if self._can_cache_flips else None
+        )
+        self._cache_base_len = self._base_len_of(self._space)
+        self._base_shape_hits = 0
+        self._base_flip_hits = 0
 
     # ------------------------------------------------------------------
     # Feature space
@@ -240,22 +251,96 @@ class PathExtractor:
     def space(self) -> FeatureSpace:
         return self._space
 
+    @staticmethod
+    def _base_len_of(space: FeatureSpace) -> Optional[int]:
+        """Ids below this are resident in a frozen base vocab (None: no base).
+
+        An overlay space's base half is immutable by construction; a
+        frozen non-overlay space is its own base.  A mutable space has no
+        base -- every cache entry is then "local" and dies on rebind.
+        """
+        paths = space.paths
+        if isinstance(paths, OverlayVocab):
+            return len(paths.base)
+        if paths.frozen:
+            return len(paths)
+        return None
+
+    @staticmethod
+    def _frozen_base_of(space: FeatureSpace) -> Optional[Vocab]:
+        paths = space.paths
+        base = paths.base if isinstance(paths, OverlayVocab) else paths
+        return base if base.frozen else None
+
     def bind_space(self, space: FeatureSpace) -> None:
-        """Re-target interning (e.g. onto a space restored from disk)."""
+        """Re-target interning (e.g. onto a space restored from disk).
+
+        Rebinding between spaces that share one *frozen* base path vocab
+        -- the per-request overlay dance of the serving read path --
+        keeps the base halves of the shape/flip caches warm: their
+        entries reference only base ids, which mean the same strings
+        under every overlay.  Local entries (and everything, on a rebind
+        to an unrelated space) are discarded.
+        """
+        old_base = self._frozen_base_of(self._space)
         self._space = space
-        self._flip_cache.clear()
-        if self._shape_cache is not None:
-            self._shape_cache.clear()
+        new_base = self._frozen_base_of(space)
+        self._cache_base_len = self._base_len_of(space)
+        if new_base is not None and new_base is old_base:
+            # Same frozen base: promote fully-base-resident local entries
+            # (the warm-up path right after freeze()), drop overlay-local
+            # ones -- their ids would mean different strings next request.
+            base_len = len(new_base)
+            for key, rel in self._flip_cache.items():
+                if key < base_len and rel < base_len:
+                    self._base_flip_cache[key] = rel
+            self._flip_cache.clear()
+            if self._shape_cache is not None:
+                for key, rel in self._shape_cache.items():
+                    if rel < base_len:
+                        self._base_shape_cache[key] = rel
+                self._shape_cache.clear()
+        else:
+            self._flip_cache.clear()
+            self._base_flip_cache.clear()
+            if self._shape_cache is not None:
+                self._shape_cache.clear()
+                self._base_shape_cache.clear()
+
+    def cache_stats(self) -> dict:
+        """Shape/flip cache occupancy and base-half hit counters.
+
+        The ``base_*_hits`` counters are the observable behind the
+        serving warm-cache guarantee: they keep growing across
+        :class:`~repro.api.pipeline.ScoringHandle` requests, while under
+        the pre-split behaviour every request started cold.
+        """
+        return {
+            "shape_entries": len(self._shape_cache or ()),
+            "base_shape_entries": len(self._base_shape_cache or ()),
+            "flip_entries": len(self._flip_cache),
+            "base_flip_entries": len(self._base_flip_cache),
+            "base_shape_hits": self._base_shape_hits,
+            "base_flip_hits": self._base_flip_hits,
+        }
 
     def reversed_rel_id(self, extracted: ExtractedPath) -> int:
         """The interned relation of the same path read from the other end."""
         if self._can_cache_flips:
+            cached = self._base_flip_cache.get(extracted.rel_id)
+            if cached is not None:
+                self._base_flip_hits += 1
+                return cached
             cached = self._flip_cache.get(extracted.rel_id)
             if cached is not None:
                 return cached
         rel = self._space.paths.intern(self._alpha(extracted.path.reversed()))
         if self._can_cache_flips:
-            self._flip_cache[extracted.rel_id] = rel
+            base_len = self._cache_base_len
+            if base_len is not None and extracted.rel_id < base_len and rel < base_len:
+                self._base_flip_cache[extracted.rel_id] = rel
+            else:
+                self._flip_cache[extracted.rel_id] = rel
         return rel
 
     # ------------------------------------------------------------------
@@ -360,10 +445,18 @@ class PathExtractor:
         shape_cache = self._shape_cache
         if shape_cache is not None:
             key = (tuple(n.kind for n in path.nodes), path.directions)
-            rel_id = shape_cache.get(key)
+            rel_id = self._base_shape_cache.get(key)  # type: ignore[union-attr]
+            if rel_id is not None:
+                self._base_shape_hits += 1
+            else:
+                rel_id = shape_cache.get(key)
             if rel_id is None:
                 rel_id = space.paths.intern(self._alpha(path))
-                shape_cache[key] = rel_id
+                base_len = self._cache_base_len
+                if base_len is not None and rel_id < base_len:
+                    self._base_shape_cache[key] = rel_id  # type: ignore[index]
+                else:
+                    shape_cache[key] = rel_id
         else:
             rel_id = space.paths.intern(self._alpha(path))
         return ExtractedPath(

@@ -242,6 +242,42 @@ class ExtractionService:
         result.seconds = time.perf_counter() - started
         return result
 
+    def index_to_shards(
+        self,
+        sources: Sequence[str],
+        language: str,
+        out_dir: str,
+        shard_size: int = 32,
+        workers: Optional[int] = None,
+    ):
+        """Persist a corpus's extraction output as on-disk shards.
+
+        The multi-machine sibling of :meth:`index_sources`: instead of
+        interning everything into this service's space, the corpus is
+        cut into ``shard_size``-file slices and each slice is extracted
+        against its own shard-local vocab and written as one shard file
+        (``workers > 1`` builds shards on a process pool; nothing
+        corpus-sized crosses a process boundary).  Merge the shards back
+        into one global space with
+        :func:`repro.shards.merge_shards` -- the result is id-identical
+        to what :meth:`index_sources` would have built in this process.
+
+        Returns a :class:`repro.shards.ShardBuildResult`.
+        """
+        from ..shards.build import build_triples_shards  # local: avoid a cycle
+
+        n_workers = self.workers if workers is None else max(1, int(workers))
+        if not _config_is_picklable(self.extractor.config):
+            n_workers = 1  # callables cannot ship to a pool; build inline
+        return build_triples_shards(
+            sources,
+            language,
+            self.extractor.config,
+            out_dir,
+            shard_size=shard_size,
+            workers=n_workers,
+        )
+
     def _map_parallel(
         self, sources: Sequence[str], language: str, n_workers: int
     ) -> Optional[List[Tuple[List[Tuple[str, str, str]], int]]]:

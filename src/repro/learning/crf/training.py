@@ -60,14 +60,20 @@ class CrfTrainer:
     def train(self, graphs: Sequence[CrfGraph]) -> Tuple[CrfModel, TrainingStats]:
         cfg = self.config
         # The model shares the graphs' feature space: factor ids in the
-        # graphs index directly into the model's weight keys.
-        space = graphs[0].space if graphs else None
-        for graph in graphs:
-            if graph.space is not space:
-                raise ValueError(
-                    "all training graphs must share one FeatureSpace; got "
-                    "graphs built by extractors with different spaces"
-                )
+        # graphs index directly into the model's weight keys.  A corpus
+        # that knows its own space (a streaming ShardedCorpus, which
+        # decodes every graph against one merged space) skips the
+        # per-graph identity scan -- scanning would force a full decode
+        # pass just to verify what the corpus guarantees by construction.
+        space = getattr(graphs, "space", None)
+        if space is None:
+            space = graphs[0].space if len(graphs) else None
+            for graph in graphs:
+                if graph.space is not space:
+                    raise ValueError(
+                        "all training graphs must share one FeatureSpace; got "
+                        "graphs built by extractors with different spaces"
+                    )
         model = CrfModel(use_unary=cfg.use_unary, space=space)
         stats = TrainingStats(graphs=len(graphs))
         started = time.perf_counter()

@@ -1,0 +1,379 @@
+"""Shard building: slice a corpus, build each slice in its own space.
+
+The builder's one invariant makes the whole subsystem deterministic:
+**a shard is built exactly the way a sequential run would have processed
+its files**, just against a fresh shard-local
+:class:`~repro.core.interning.FeatureSpace`.  Views are produced by the
+same :class:`~repro.api.Pipeline` code path ``Pipeline.train()`` uses
+(same parse, same extraction, same factor construction, same program
+names), so the shard-local vocab records the complete intern-call
+sequence of that slice.  Shards are therefore independent -- each one
+can be built on a different core or a different machine -- and the
+first-seen merge (:mod:`repro.shards.merge`) reassembles the exact
+global id assignment of a single-process run.
+
+Fan-out uses a ``multiprocessing`` pool with one task per shard.
+Workers write the shard files themselves and return only summaries, so
+nothing corpus-sized ever crosses a process boundary.  Any pool failure
+(sandboxed environment, unpicklable config) falls back to building the
+same shards sequentially -- byte-identical files either way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.extraction import ExtractionConfig, PathExtractor
+from ..core.interning import FeatureSpace
+from ..learning.crf.graph import CrfGraph
+from .format import (
+    CONTEXTS_KIND,
+    GRAPH_KIND,
+    TRIPLES_KIND,
+    ShardError,
+    ShardWriter,
+)
+
+#: File-name template for shard files (index-padded so listings sort).
+SHARD_NAME = "{prefix}-{index:05d}.shard.json"
+
+
+def plan_shards(n_files: int, shard_size: int) -> List[Tuple[int, int]]:
+    """Split ``n_files`` into contiguous ``[start, end)`` slices."""
+    if shard_size < 1:
+        raise ShardError(f"shard_size must be >= 1, got {shard_size}")
+    if n_files < 1:
+        raise ShardError("cannot shard an empty corpus")
+    return [
+        (start, min(start + shard_size, n_files))
+        for start in range(0, n_files, shard_size)
+    ]
+
+
+def extraction_meta(config: ExtractionConfig) -> Dict[str, object]:
+    """The JSON-able fingerprint of an extraction config.
+
+    Callable abstractions and leaf filters cannot be serialized (or
+    compared across processes); they are recorded as opaque markers so a
+    mismatch is still caught.
+    """
+    return {
+        "max_length": config.max_length,
+        "max_width": config.max_width,
+        "include_semi_paths": config.include_semi_paths,
+        "semi_path_min_length": config.semi_path_min_length,
+        "downsample_p": config.downsample_p,
+        "seed": config.seed,
+        "abstraction": (
+            config.abstraction
+            if isinstance(config.abstraction, str)
+            else "<callable>"
+        ),
+        "leaf_filter": None if config.leaf_filter is None else "<callable>",
+    }
+
+
+@dataclass
+class ShardBuildResult:
+    """What one shard-building run produced."""
+
+    out_dir: str
+    paths: List[str] = field(default_factory=list)
+    files: int = 0
+    elements: int = 0
+    record_paths: int = 0
+    seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def shards(self) -> int:
+        return len(self.paths)
+
+    def summary(self) -> dict:
+        """JSON-ready stats (what ``pigeon shard build`` prints)."""
+        return {
+            "out_dir": self.out_dir,
+            "shards": self.shards,
+            "files": self.files,
+            "elements": self.elements,
+            "paths": self.record_paths,
+            "seconds": round(self.seconds, 4),
+            "files_per_second": (
+                round(self.files / self.seconds, 1) if self.seconds > 0 else 0.0
+            ),
+            "workers": self.workers,
+        }
+
+
+# ----------------------------------------------------------------------
+# View encoding (inverse of repro.shards.corpus.decode_*)
+# ----------------------------------------------------------------------
+
+
+def encode_graph(graph: CrfGraph) -> dict:
+    """Serialize one CRF graph with its (shard-local) integer ids."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            [
+                node.key,
+                node.gold,
+                [[f.rel, f.label] for f in node.known],
+                [[e.rel, e.other] for e in node.edges],
+                list(node.unary),
+            ]
+            for node in graph.unknowns
+        ],
+    }
+
+
+def encode_contexts(view: dict, name: str = "") -> dict:
+    """Serialize one element->(gold, tokens) map with its local ids."""
+    return {
+        "name": name,
+        "elements": [
+            [binding, gold, [[rel, vid] for rel, vid in tokens]]
+            for binding, (gold, tokens) in view.items()
+        ],
+    }
+
+
+def _view_counts(record: dict, kind: str) -> Tuple[int, int]:
+    """(elements, paths) of one encoded record, for the shard meta."""
+    if kind == GRAPH_KIND:
+        nodes = record["nodes"]
+        return len(nodes), sum(
+            len(known) + len(edges) + len(unary)
+            for _k, _g, known, edges, unary in nodes
+        )
+    elements = record["elements"]
+    return len(elements), sum(len(tokens) for _b, _g, tokens in elements)
+
+
+# ----------------------------------------------------------------------
+# Spec-driven view shards (what training consumes)
+# ----------------------------------------------------------------------
+
+
+def _build_view_shard(
+    spec_dict: dict,
+    sources: Sequence[str],
+    start_index: int,
+    shard_index: int,
+    out_path: str,
+    kind: str,
+    base_meta: dict,
+) -> dict:
+    """Build + write one view shard; returns its summary counts.
+
+    Runs in a worker process (or inline on the sequential path).  The
+    fresh :class:`~repro.api.Pipeline` gives this shard its own private
+    feature space; program names use the *global* file index so decoded
+    views match an in-memory run exactly.
+    """
+    from ..api import Pipeline, RunSpec  # local import: workers pay it once
+
+    pipeline = Pipeline(RunSpec.from_dict(spec_dict))
+    writer = ShardWriter(
+        out_path, dict(base_meta, shard_index=shard_index, start_file=start_index)
+    )
+    elements = 0
+    record_paths = 0
+    for offset, source in enumerate(sources):
+        program = pipeline.parse(source, name=f"train:{start_index + offset}")
+        view = pipeline.view(program)
+        if kind == GRAPH_KIND:
+            record = encode_graph(view)
+        else:
+            record = encode_contexts(view, name=program.name)
+        n_elements, n_paths = _view_counts(record, kind)
+        elements += n_elements
+        record_paths += n_paths
+        writer.add_record(record)
+    writer.meta["elements"] = elements
+    writer.meta["paths"] = record_paths
+    writer.finish(pipeline.space)
+    return {"path": out_path, "files": len(sources), "elements": elements, "paths": record_paths}
+
+
+def build_spec_shards(
+    spec,
+    sources: Sequence[str],
+    out_dir: str,
+    shard_size: int = 32,
+    workers: int = 1,
+    prefix: str = "corpus",
+) -> ShardBuildResult:
+    """Shard a corpus into training-ready view shards for one spec.
+
+    ``spec`` is a :class:`~repro.api.RunSpec`; the shard kind follows the
+    spec's learner view (``crf`` -> graph records, ``word2vec`` ->
+    context records).  With ``workers > 1`` each shard is built by its
+    own process; ids are deterministic either way because every shard
+    owns a private vocabulary.
+    """
+    from ..api import Pipeline
+    from ..api.protocols import GRAPH_VIEW
+
+    pipeline = Pipeline(spec)  # validates the cell before any work
+    if pipeline.space is None:
+        raise ShardError(
+            f"representation {spec.representation!r} has no feature space; "
+            f"sharding needs an interning (path-based) representation"
+        )
+    kind = GRAPH_KIND if pipeline.learner.consumes == GRAPH_VIEW else CONTEXTS_KIND
+    base_meta = {
+        "kind": kind,
+        "language": spec.language,
+        "spec": spec.to_dict(),
+        "extraction": extraction_meta(pipeline.service.config),
+    }
+
+    os.makedirs(out_dir, exist_ok=True)
+    started = time.perf_counter()
+    tasks = [
+        (
+            spec.to_dict(),
+            list(sources[start:end]),
+            start,
+            shard_index,
+            os.path.join(out_dir, SHARD_NAME.format(prefix=prefix, index=shard_index)),
+            kind,
+            base_meta,
+        )
+        for shard_index, (start, end) in enumerate(plan_shards(len(sources), shard_size))
+    ]
+    summaries, used_workers = _run_shard_tasks(_build_view_shard, tasks, workers)
+    return _collect(out_dir, summaries, started, used_workers)
+
+
+# ----------------------------------------------------------------------
+# Raw extraction-output shards (ExtractionService.index_to_shards)
+# ----------------------------------------------------------------------
+
+
+def _build_triples_shard(
+    config: ExtractionConfig,
+    language: str,
+    sources: Sequence[str],
+    start_index: int,
+    shard_index: int,
+    out_path: str,
+    base_meta: dict,
+) -> dict:
+    """Build + write one raw-triples shard (worker or inline)."""
+    from ..lang.base import parse_source  # local import: avoid a cycle
+
+    extractor = PathExtractor(config, space=FeatureSpace())
+    writer = ShardWriter(
+        out_path, dict(base_meta, shard_index=shard_index, start_file=start_index)
+    )
+    record_paths = 0
+    nodes = 0
+    for offset, source in enumerate(sources):
+        ast = parse_source(language, source)
+        triples = [
+            [e.start_value_id, e.rel_id, e.end_value_id]
+            for e in extractor.extract(ast)
+        ]
+        nodes += ast.size()
+        record_paths += len(triples)
+        writer.add_record(
+            {"name": f"file:{start_index + offset}", "nodes": ast.size(), "triples": triples}
+        )
+    writer.meta["paths"] = record_paths
+    writer.meta["nodes"] = nodes
+    writer.finish(extractor.space)
+    return {"path": out_path, "files": len(sources), "elements": 0, "paths": record_paths}
+
+
+def build_triples_shards(
+    sources: Sequence[str],
+    language: str,
+    config: ExtractionConfig,
+    out_dir: str,
+    shard_size: int = 32,
+    workers: int = 1,
+    prefix: str = "extract",
+) -> ShardBuildResult:
+    """Shard raw extraction output (the service-level entry point)."""
+    base_meta = {
+        "kind": TRIPLES_KIND,
+        "language": language,
+        "spec": None,
+        "extraction": extraction_meta(config),
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    started = time.perf_counter()
+    tasks = [
+        (
+            config,
+            language,
+            list(sources[start:end]),
+            start,
+            shard_index,
+            os.path.join(out_dir, SHARD_NAME.format(prefix=prefix, index=shard_index)),
+            base_meta,
+        )
+        for shard_index, (start, end) in enumerate(plan_shards(len(sources), shard_size))
+    ]
+    summaries, used_workers = _run_shard_tasks(_build_triples_shard, tasks, workers)
+    return _collect(out_dir, summaries, started, used_workers)
+
+
+# ----------------------------------------------------------------------
+# Shared fan-out machinery
+# ----------------------------------------------------------------------
+
+
+def _run_shard_tasks(
+    build_fn, tasks: List[tuple], workers: int
+) -> Tuple[List[dict], int]:
+    """One task per shard, over a process pool when asked (and possible).
+
+    Only *pool availability* problems (sandboxed environment, task
+    payloads that cannot pickle) fall back to a sequential build; a
+    genuine build failure inside a worker -- an unparsable source, a
+    shard that cannot be written -- propagates immediately instead of
+    being retried sequentially just to fail again.
+    """
+    n_workers = max(1, int(workers))
+    if n_workers > 1 and len(tasks) > 1:
+        n_workers = min(n_workers, len(tasks))
+        try:
+            import multiprocessing
+            import pickle
+
+            context = multiprocessing.get_context()
+            pool = context.Pool(processes=n_workers)
+        except Exception:
+            pool = None  # no subprocesses here (sandbox) -> sequential
+        if pool is not None:
+            with pool:
+                try:
+                    return pool.starmap(build_fn, tasks), n_workers
+                except (pickle.PicklingError, AttributeError, TypeError):
+                    # Unpicklable task payloads surface as any of these
+                    # (PicklingError, "Can't pickle local object", ...).
+                    # A genuine build failure that happens to share the
+                    # type is retried sequentially and raises its real
+                    # error there; other exception types (parse errors,
+                    # OSError, ShardError) propagate immediately.
+                    pass
+    return [build_fn(*task) for task in tasks], 1
+
+
+def _collect(
+    out_dir: str, summaries: List[dict], started: float, workers: int
+) -> ShardBuildResult:
+    result = ShardBuildResult(out_dir=out_dir, workers=max(1, int(workers)))
+    for summary in summaries:
+        result.paths.append(summary["path"])
+        result.files += summary["files"]
+        result.elements += summary["elements"]
+        result.record_paths += summary["paths"]
+    result.seconds = time.perf_counter() - started
+    return result

@@ -203,6 +203,127 @@ class TestTrainPredictCommands:
         assert len(ranked) <= 3
 
 
+class TestShardCommands:
+    TRAIN = TestTrainPredictCommands.TRAIN
+
+    def _write_files(self, tmp_path):
+        files = []
+        for i, source in enumerate(self.TRAIN):
+            path = tmp_path / f"train{i}.js"
+            path.write_text(source)
+            files.append(str(path))
+        return files
+
+    def _build(self, tmp_path, capsys):
+        files = self._write_files(tmp_path)
+        shards = tmp_path / "shards"
+        code = main(
+            ["shard", "build", "--out", str(shards), "--shard-size", "3",
+             "--json", *files]
+        )
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["files"] == len(files)
+        assert stats["shards"] == 3
+        assert stats["kind"] == "view"
+        return shards, files
+
+    def test_build_info_merge(self, tmp_path, capsys):
+        shards, _files = self._build(tmp_path, capsys)
+        assert main(["shard", "info", str(shards), "--verify", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["verified"] is True
+        assert info["kind"] == "graph"
+        assert info["spec"]["language"] == "javascript"
+        assert len(info["shard_files"]) == info["shards"] == 3
+
+        manifest = tmp_path / "merged.json"
+        assert main(
+            ["shard", "merge", str(shards), "--out", str(manifest), "--json"]
+        ) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["shards"] == 3
+        assert merged["unique_paths"] > 0
+        assert manifest.exists()
+
+        # The manifest feeds straight back into streamed training.
+        model = tmp_path / "from-manifest.json"
+        assert main(
+            ["train", "--model", str(model), "--shards", str(shards),
+             "--merged", str(manifest), "--epochs", "2"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["shards"] == 3 and model.exists()
+
+    def test_train_from_shards_matches_in_memory_train(self, tmp_path, capsys):
+        shards, files = self._build(tmp_path, capsys)
+        sharded_model = tmp_path / "sharded.json"
+        assert main(
+            ["train", "--model", str(sharded_model), "--shards", str(shards),
+             "--epochs", "3"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["files_trained"] == len(files)
+        assert stats["shards"] == 3
+
+        in_memory_model = tmp_path / "inmem.json"
+        assert main(
+            ["train", "--model", str(in_memory_model), "--language", "javascript",
+             "--epochs", "3", *files]
+        ) == 0
+        capsys.readouterr()
+
+        target = tmp_path / "probe.js"
+        target.write_text(
+            "function run() { var d = false; while (!d) {"
+            " if (someCondition()) { d = true; } } }"
+        )
+        outputs = []
+        for model in (sharded_model, in_memory_model):
+            assert main(["predict", str(target), "--model", str(model)]) == 0
+            outputs.append(json.loads(capsys.readouterr().out)["predictions"])
+        assert outputs[0] == outputs[1]
+        assert list(outputs[0].values()) == ["done"]
+
+    def test_triples_kind_builds_and_informs(self, tmp_path, capsys):
+        files = self._write_files(tmp_path)
+        shards = tmp_path / "tshards"
+        assert main(
+            ["shard", "build", "--out", str(shards), "--kind", "triples",
+             "--shard-size", "4", "--json", *files]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["kind"] == "triples"
+        assert main(["shard", "info", str(shards)]) == 0
+        out = capsys.readouterr().out
+        assert "triples shards" in out
+        assert "raw extraction" in out
+
+    def test_clean_errors(self, tmp_path, capsys):
+        shards, files = self._build(tmp_path, capsys)
+        # --shards plus files is a usage error.
+        with pytest.raises(SystemExit, match="not both"):
+            main(["train", "--model", "m.json", "--shards", str(shards), *files])
+        # Explicit axes must agree with the shard set.
+        with pytest.raises(SystemExit, match="built for language"):
+            main(["train", "--model", "m.json", "--shards", str(shards),
+                  "--language", "python"])
+        with pytest.raises(SystemExit, match="built for learner"):
+            main(["train", "--model", "m.json", "--shards", str(shards),
+                  "--learner", "word2vec"])
+        # train needs either --shards or --language.
+        with pytest.raises(SystemExit, match="--language"):
+            main(["train", "--model", "m.json", *files])
+        # --merged without --shards is a usage error.
+        with pytest.raises(SystemExit, match="--shards training only"):
+            main(["train", "--model", "m.json", "--language", "javascript",
+                  "--merged", "x.json", *files])
+        # Shard errors surface as one-line messages (ShardError is a
+        # ValueError, so the main() handler catches it).
+        with pytest.raises(SystemExit, match="no \\*.shard.json"):
+            main(["shard", "info", str(tmp_path)])
+
+
 class TestCleanErrors:
     """Plugin/config/file mistakes exit with one-line messages, not tracebacks."""
 

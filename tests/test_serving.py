@@ -103,6 +103,29 @@ class TestScoringHandle:
         with pytest.raises(FrozenVocabError):
             served.predict(NOVEL_JS)
 
+    def test_extraction_caches_stay_warm_across_requests(self, model_path, direct):
+        # The shape/flip caches are split so entries resident in the
+        # frozen base survive the per-request overlay rebinds; only
+        # overlay-local entries are discarded.  Observable: the base
+        # halves stay populated between requests and keep taking hits.
+        served = Pipeline.load(model_path)
+        handle = served.scoring_handle()
+        extractor = served.representation.extractor
+
+        handle.predict(NOVEL_JS)
+        first = extractor.cache_stats()
+        assert first["base_shape_entries"] > 0  # survived the request
+        assert first["base_flip_entries"] > 0
+        # Nothing request-local may outlive the request.
+        assert first["shape_entries"] == 0
+        assert first["flip_entries"] == 0
+
+        assert handle.predict(NOVEL_JS) == direct.predict(NOVEL_JS)
+        second = extractor.cache_stats()
+        assert second["base_shape_hits"] > first["base_shape_hits"]
+        assert second["base_flip_hits"] > first["base_flip_hits"]
+        assert second["shape_entries"] == 0 and second["flip_entries"] == 0
+
     def test_fingerprint_is_layout_independent(self, model_path):
         handle = Pipeline.load(model_path).scoring_handle()
         compact = "var a = b + 1;"
