@@ -53,6 +53,12 @@ TRACKED: Dict[str, List[str]] = {
         "large.build_files_per_second",
         "memory.stream_headroom",
     ],
+    "BENCH_fleet.json": [
+        "single.requests_per_second",
+        "fleet.requests_per_second",
+        "fleet.cache_hit_rate",
+        "speedup_fleet_vs_single",
+    ],
 }
 
 

@@ -8,6 +8,12 @@ Usage::
     python -m repro.cli extract [files...]        # corpus-scale extraction
                                                   # stats (optionally --workers N)
     python -m repro.cli shard build --out DIR ... # persist a corpus as shards
+    python -m repro.cli shard build --out DIR --partition 2/4 ...
+                                                  # build one machine's slice
+                                                  # of the shard plan
+    python -m repro.cli shard gather DIR... --out DIR
+                                                  # collect partition outputs
+                                                  # into one validated set
     python -m repro.cli shard info DIR            # inspect/verify a shard set
     python -m repro.cli shard merge DIR           # merge shard vocabs
     python -m repro.cli train --model m.json ...  # train + save a pipeline
@@ -19,6 +25,11 @@ Usage::
                                                   # thin client against a
                                                   # running prediction server
     python -m repro.cli serve --model m.json      # async batched HTTP server
+    python -m repro.cli fleet serve --model m.json --replicas 3
+                                                  # consistent-hash router over
+                                                  # N shared-nothing replicas
+    python -m repro.cli fleet stats [URL]         # merged fleet statistics
+    python -m repro.cli fleet reload [URL]        # rolling drain-restart
     python -m repro.cli rename <file> [...]       # deobfuscate (trains on a
                                                   # generated corpus first)
     python -m repro.cli experiment <language>     # run a mini experiment
@@ -171,8 +182,9 @@ def _training_sources(
 
 
 def cmd_shard_build(args: argparse.Namespace) -> int:
-    from .shards import build_spec_shards
+    from .shards import build_spec_shards, parse_partition
 
+    partition = parse_partition(args.partition) if args.partition else None
     if args.files:
         language = _guess_language(args.files[0], args.language)
     elif args.language:
@@ -193,6 +205,7 @@ def cmd_shard_build(args: argparse.Namespace) -> int:
         result = service.index_to_shards(
             sources, language, args.out,
             shard_size=args.shard_size, workers=args.workers,
+            partition=partition,
         )
     else:
         extraction = {}
@@ -210,19 +223,42 @@ def cmd_shard_build(args: argparse.Namespace) -> int:
         result = build_spec_shards(
             spec, sources, args.out,
             shard_size=args.shard_size, workers=args.workers,
+            partition=partition,
         )
     summary = dict(result.summary(), language=language, kind=args.kind)
     if args.json:
         print(json.dumps(summary))
     else:
+        partition_note = (
+            f" (partition {summary['partition']} of a "
+            f"{summary['planned_shards']}-shard plan)"
+            if "partition" in summary
+            else ""
+        )
         print(
             f"{summary['shards']} shards, {summary['files']} files, "
-            f"{summary['paths']} path records -> {args.out}"
+            f"{summary['paths']} path records -> {args.out}{partition_note}"
         )
         print(
             f"built in {summary['seconds']:.2f}s "
             f"({summary['files_per_second']:.0f} files/s, "
             f"workers={summary['workers']})"
+        )
+    return 0
+
+
+def cmd_shard_gather(args: argparse.Namespace) -> int:
+    from .shards import gather_shards
+
+    summary = gather_shards(args.partitions, args.out)
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(
+            f"gathered {summary['shards']} shards from "
+            f"{summary['partitions']} partitions -> {args.out} "
+            f"({summary['files']} files, {summary['paths']} path records; "
+            f"indices complete, headers agree)"
         )
     return 0
 
@@ -371,6 +407,12 @@ def _train_report(model: str, spec: RunSpec, stats, shards: Optional[int] = None
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    # --fleet is --server pointed at a fleet router; the router speaks
+    # the same /predict dialect, so the thin client is identical.
+    if args.fleet:
+        if args.server:
+            raise SystemExit("pass --server or --fleet, not both")
+        args.server = args.fleet
     if args.server and args.model:
         raise SystemExit("pass either --model (local) or --server (remote), not both")
     source = _read(args.file)
@@ -438,6 +480,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"/{args.batch_wait_ms}ms, cache={server.cache.capacity})",
             file=sys.stderr,
         )
+        # One machine-readable ready line on stdout: orchestrators (the
+        # fleet's subprocess spawner, scripts) learn the bound port --
+        # which matters with --port 0 -- without scraping stderr.
+        print(
+            json.dumps({"ready": True, "url": server.url, "models": host.cells()}),
+            flush=True,
+        )
         # SIGINT and SIGTERM both mean "drain and leave": without a
         # handler SIGTERM would kill mid-batch, and a shell-backgrounded
         # process may have SIGINT masked entirely.
@@ -458,6 +507,110 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .fleet import FleetRouter, ReplicaSet
+
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    if args.in_process:
+        replicas = ReplicaSet.in_process(
+            args.model,
+            args.replicas,
+            batch_size=args.batch_size,
+            batch_wait_ms=args.batch_wait_ms,
+            cache_size=args.cache_size,
+        )
+    else:
+        replicas = ReplicaSet.spawn(
+            args.model,
+            args.replicas,
+            base_port=args.base_port,
+            workers=args.workers,
+        )
+    print(
+        f"starting {args.replicas} "
+        f"{'in-process' if args.in_process else 'subprocess'} replicas...",
+        file=sys.stderr,
+    )
+    replicas.start()
+    router = FleetRouter(
+        replicas,
+        address=args.host,
+        port=args.port,
+        max_inflight_per_replica=args.max_inflight,
+    )
+
+    async def _serve() -> None:
+        import signal
+
+        await router.start()
+        members = ", ".join(
+            f"{replica.name}={replica.url}" for replica in replicas
+        )
+        print(
+            f"fleet router on {router.url} over {len(replicas)} replicas "
+            f"({members})",
+            file=sys.stderr,
+        )
+        print(
+            json.dumps(
+                {
+                    "ready": True,
+                    "url": router.url,
+                    "replicas": {r.name: r.url for r in replicas},
+                }
+            ),
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await stop.wait()
+        finally:
+            print("stopping the router...", file=sys.stderr)
+            await router.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("stopping replicas...", file=sys.stderr)
+        replicas.stop()
+    return 0
+
+
+def cmd_fleet_stats(args: argparse.Namespace) -> int:
+    from .serving.client import ServingClient, ServingError
+
+    with ServingClient(args.url) as client:
+        try:
+            stats = client.fleet_stats()
+        except ServingError as error:
+            raise SystemExit(f"error: {error}") from error
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+def cmd_fleet_reload(args: argparse.Namespace) -> int:
+    from .serving.client import ServingClient, ServingError
+
+    with ServingClient(args.url, timeout_s=600.0) as client:
+        try:
+            report = client.fleet_reload(models=args.model or None)
+        except ServingError as error:
+            raise SystemExit(f"error: {error}") from error
+    print(json.dumps(report, indent=2))
     return 0
 
 
@@ -581,7 +734,27 @@ def build_parser() -> argparse.ArgumentParser:
     shard_build.add_argument("--projects", type=int, default=16)
     shard_build.add_argument("--seed", type=int, default=8)
     shard_build.add_argument("--json", action="store_true", help="emit stats as JSON")
+    shard_build.add_argument(
+        "--partition",
+        default=None,
+        metavar="I/N",
+        help="build only the I-th (1-based) of N round-robin slices of the "
+        "full shard plan; shard indices stay global, so partitions built "
+        "on different machines gather back into one complete set",
+    )
     shard_build.set_defaults(func=cmd_shard_build)
+
+    shard_gather = shard_sub.add_parser(
+        "gather",
+        help="collect partitioned 'shard build --partition' outputs into "
+        "one validated shard set",
+    )
+    shard_gather.add_argument(
+        "partitions", nargs="+", help="partition output directories"
+    )
+    shard_gather.add_argument("--out", required=True, help="assembled shard directory")
+    shard_gather.add_argument("--json", action="store_true")
+    shard_gather.set_defaults(func=cmd_shard_gather)
 
     shard_info = shard_sub.add_parser(
         "info", help="print a shard set's header metadata and counts"
@@ -655,6 +828,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="act as a thin client against a running 'pigeon serve' instance",
     )
     predict.add_argument(
+        "--fleet",
+        default=None,
+        metavar="URL",
+        help="act as a thin client against a running 'pigeon fleet serve' "
+        "router (same dialect as --server)",
+    )
+    predict.add_argument(
         "--language", default=None, help="route to this language (--server mode)"
     )
     predict.add_argument(
@@ -715,6 +895,106 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 disables caching)",
     )
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run and inspect a consistent-hash fleet of serving replicas",
+        epilog=(
+            "examples:\n"
+            "  pigeon fleet serve --model m.json --replicas 3\n"
+            "  pigeon fleet serve --model m.json --replicas 3 --base-port 8100\n"
+            "  pigeon fleet serve --model m.json --replicas 2 --in-process\n"
+            "  pigeon fleet stats http://127.0.0.1:8016\n"
+            "  pigeon fleet reload http://127.0.0.1:8016\n"
+            "  pigeon predict --fleet http://127.0.0.1:8016 program.js\n"
+            "\n"
+            "the router hashes each request's AST digest onto a consistent-hash\n"
+            "ring of replicas, so repeated programs always hit the replica whose\n"
+            "cache already holds their answer; replica caches partition rather\n"
+            "than duplicate.  a dead replica's key range fails over to its ring\n"
+            "successor; 'fleet reload' drain-restarts one replica at a time.\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_serve = fleet_sub.add_parser(
+        "serve", help="spawn N serving replicas behind one router address"
+    )
+    fleet_serve.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        help="saved model file; repeat to serve several cells (every "
+        "replica loads every model)",
+    )
+    fleet_serve.add_argument(
+        "--replicas", type=int, default=3, help="number of serving replicas"
+    )
+    fleet_serve.add_argument("--host", default="127.0.0.1", help="router bind address")
+    fleet_serve.add_argument(
+        "--port", type=int, default=8016, help="router bind port (0 = ephemeral)"
+    )
+    fleet_serve.add_argument(
+        "--base-port",
+        type=int,
+        default=None,
+        help="first replica port (replica i binds base+i); default: "
+        "ephemeral ports",
+    )
+    fleet_serve.add_argument(
+        "--in-process",
+        action="store_true",
+        help="run replicas as threads in this process instead of "
+        "'pigeon serve' subprocesses (shared-nothing either way)",
+    )
+    fleet_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="scoring processes per replica (subprocess replicas only)",
+    )
+    fleet_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help="admission limit per healthy replica; beyond "
+        "replicas x limit the router sheds load with 503 + Retry-After",
+    )
+    fleet_serve.add_argument(
+        "--batch-size", type=int, default=8, help="per-replica micro-batch size"
+    )
+    fleet_serve.add_argument(
+        "--batch-wait-ms", type=float, default=2.0, help="per-replica batch wait"
+    )
+    fleet_serve.add_argument(
+        "--cache-size", type=int, default=1024, help="per-replica response cache"
+    )
+    fleet_serve.set_defaults(func=cmd_fleet_serve)
+
+    fleet_stats = fleet_sub.add_parser(
+        "stats", help="print a running fleet's merged statistics as JSON"
+    )
+    fleet_stats.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8016", help="router URL"
+    )
+    fleet_stats.set_defaults(func=cmd_fleet_stats)
+
+    fleet_reload = fleet_sub.add_parser(
+        "reload",
+        help="rolling drain-restart of every replica (picks up updated "
+        "model files; the fleet never drops below N-1 healthy)",
+    )
+    fleet_reload.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8016", help="router URL"
+    )
+    fleet_reload.add_argument(
+        "--model",
+        action="append",
+        default=None,
+        help="switch replicas to these model files during the roll",
+    )
+    fleet_reload.set_defaults(func=cmd_fleet_reload)
 
     rename = sub.add_parser("rename", help="predict names and print renamed source")
     rename.add_argument("file")

@@ -249,6 +249,7 @@ class ExtractionService:
         out_dir: str,
         shard_size: int = 32,
         workers: Optional[int] = None,
+        partition: Optional[Tuple[int, int]] = None,
     ):
         """Persist a corpus's extraction output as on-disk shards.
 
@@ -276,6 +277,7 @@ class ExtractionService:
             out_dir,
             shard_size=shard_size,
             workers=n_workers,
+            partition=partition,
         )
 
     def _map_parallel(

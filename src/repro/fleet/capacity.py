@@ -1,0 +1,257 @@
+"""Grey-box queueing model behind fleet admission and sizing.
+
+"Grey box" in the sense of the classic processor-modelling idiom: rather
+than simulating the replicas, fit a small analytic model (an M/M/N
+queue) to *measured* counters, then use it for two decisions:
+
+* **admission** -- is the fleet so far beyond its fitted service
+  capacity that queueing another request only manufactures latency?
+  If so the router answers 503 with a model-derived ``Retry-After``.
+* **sizing** -- :func:`recommend_replicas` inverts the model: the
+  smallest replica count whose predicted p95 response time meets a
+  target at a target request rate.
+
+The measured side comes from each replica's ``GET /stats``: the
+``/predict`` latency histogram (count + sum -> mean service time, i.e.
+the service rate ``mu``) and the live congestion counters (``inflight``,
+``queue_depth``).  Each replica is fitted separately -- heterogeneous
+hardware yields heterogeneous rates -- and the fleet model uses the mean
+fitted rate, which is exact for homogeneous replicas and a standard
+approximation otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class ServiceEstimate:
+    """One replica's fitted service behaviour (from its /stats)."""
+
+    replica: str
+    requests: int
+    mean_service_ms: float
+    p95_service_ms: float
+
+    @property
+    def service_rate(self) -> float:
+        """Fitted service rate mu in requests/second."""
+        if self.mean_service_ms <= 0:
+            return 0.0
+        return 1000.0 / self.mean_service_ms
+
+    def to_dict(self) -> dict:
+        return {
+            "replica": self.replica,
+            "requests": self.requests,
+            "mean_service_ms": round(self.mean_service_ms, 3),
+            "p95_service_ms": round(self.p95_service_ms, 3),
+            "service_rate_rps": round(self.service_rate, 2),
+        }
+
+
+def fit_service_estimate(replica: str, stats: Mapping) -> Optional[ServiceEstimate]:
+    """Fit one replica's service rate from its ``/stats`` payload.
+
+    Uses the ``/predict`` endpoint's latency histogram (the mix of cache
+    hits and full scoring actually flowing through the replica -- the
+    *effective* service time, which is what capacity planning needs).
+    Returns ``None`` until the replica has served at least one request.
+    """
+    latency = stats.get("latency") if isinstance(stats, Mapping) else None
+    if not isinstance(latency, Mapping):
+        return None
+    predict = latency.get("/predict")
+    if not isinstance(predict, Mapping):
+        return None
+    count = int(predict.get("count", 0))
+    if count <= 0:
+        return None
+    mean_ms = float(predict.get("sum_ms", 0.0)) / count
+    return ServiceEstimate(
+        replica=replica,
+        requests=count,
+        mean_service_ms=mean_ms,
+        p95_service_ms=float(predict.get("p95_ms", mean_ms)),
+    )
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """P(wait) for an M/M/N queue at ``offered_load`` Erlangs.
+
+    Computed with the numerically stable iterative Erlang-B recurrence
+    (no factorials), then converted to Erlang C.  Returns 1.0 at or
+    beyond saturation (``offered_load >= servers``): every arrival waits.
+    """
+    if servers < 1 or offered_load <= 0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    blocking = 1.0  # Erlang B with 0 servers
+    for k in range(1, servers + 1):
+        blocking = (offered_load * blocking) / (k + offered_load * blocking)
+    rho = offered_load / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+@dataclass
+class FleetModel:
+    """An M/M/N view of the fleet: N replicas at a fitted rate each."""
+
+    replicas: int
+    service_rate: float  # per-replica mu, requests/second
+    p95_service_ms: float = 0.0
+
+    @property
+    def capacity_rps(self) -> float:
+        """The fleet's fitted saturation throughput (N * mu)."""
+        return self.replicas * self.service_rate
+
+    def utilization(self, arrival_rps: float) -> float:
+        if self.capacity_rps <= 0:
+            return math.inf if arrival_rps > 0 else 0.0
+        return arrival_rps / self.capacity_rps
+
+    def wait_probability(self, arrival_rps: float) -> float:
+        if self.service_rate <= 0:
+            return 1.0
+        return erlang_c(self.replicas, arrival_rps / self.service_rate)
+
+    def mean_wait_ms(self, arrival_rps: float) -> float:
+        """Expected queueing delay (excluding service) in milliseconds."""
+        headroom = self.capacity_rps - arrival_rps
+        if headroom <= 0:
+            return math.inf
+        return self.wait_probability(arrival_rps) / headroom * 1000.0
+
+    def p95_response_ms(self, arrival_rps: float) -> float:
+        """Approximate p95 response time: queueing tail + observed service p95.
+
+        The M/M/N waiting time beyond the 5% tail is
+        ``ln(C/0.05) / (N*mu - lambda)`` when the wait probability C
+        exceeds 5%, zero otherwise; the grey-box part adds the
+        *measured* p95 service time instead of assuming the exponential
+        service the closed form would.
+        """
+        headroom = self.capacity_rps - arrival_rps
+        if headroom <= 0:
+            return math.inf
+        tail = self.wait_probability(arrival_rps)
+        wait_ms = 0.0
+        if tail > 0.05:
+            wait_ms = math.log(tail / 0.05) / headroom * 1000.0
+        service_ms = self.p95_service_ms or (
+            1000.0 / self.service_rate if self.service_rate > 0 else 0.0
+        )
+        return wait_ms + service_ms
+
+    def to_dict(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "service_rate_rps": round(self.service_rate, 2),
+            "capacity_rps": round(self.capacity_rps, 2),
+            "p95_service_ms": round(self.p95_service_ms, 3),
+        }
+
+
+def fleet_model(estimates: List[ServiceEstimate], replicas: int) -> Optional[FleetModel]:
+    """The fleet-level model from per-replica fits (None before any data)."""
+    rates = [e.service_rate for e in estimates if e.service_rate > 0]
+    if not rates or replicas < 1:
+        return None
+    mean_rate = sum(rates) / len(rates)
+    p95 = max(e.p95_service_ms for e in estimates)
+    return FleetModel(replicas=replicas, service_rate=mean_rate, p95_service_ms=p95)
+
+
+def recommend_replicas(
+    target_rps: float,
+    p95_ms: float,
+    service_rate: float,
+    p95_service_ms: float = 0.0,
+    max_replicas: int = 256,
+) -> dict:
+    """The smallest replica count meeting a latency SLO at a load target.
+
+    Walks N upward until the modelled p95 response at ``target_rps``
+    drops under ``p95_ms``.  The report carries the model's predictions
+    at the recommendation (and flags infeasible SLOs: a p95 target below
+    the service time itself cannot be bought with replicas).
+    """
+    report = {
+        "target_rps": target_rps,
+        "target_p95_ms": p95_ms,
+        "service_rate_rps": round(service_rate, 2),
+    }
+    if service_rate <= 0 or target_rps <= 0:
+        return dict(report, feasible=False, reason="no fitted service rate or load")
+    floor_ms = p95_service_ms or 1000.0 / service_rate
+    if floor_ms > p95_ms:
+        return dict(
+            report,
+            feasible=False,
+            reason=(
+                f"p95 target {p95_ms:.0f}ms is below the per-request service "
+                f"floor {floor_ms:.0f}ms; replicas add throughput, not speed"
+            ),
+        )
+    minimum = max(1, math.ceil(target_rps / service_rate))
+    for replicas in range(minimum, max_replicas + 1):
+        model = FleetModel(replicas, service_rate, p95_service_ms)
+        predicted = model.p95_response_ms(target_rps)
+        if predicted <= p95_ms:
+            return dict(
+                report,
+                feasible=True,
+                recommended_replicas=replicas,
+                predicted_p95_ms=round(predicted, 2),
+                predicted_utilization=round(model.utilization(target_rps), 4),
+                wait_probability=round(model.wait_probability(target_rps), 4),
+            )
+    return dict(report, feasible=False, reason=f"not met within {max_replicas} replicas")
+
+
+class AdmissionController:
+    """Load shedding at the front tier, with a model-derived retry hint.
+
+    The live signal is the router's own in-flight count (requests
+    forwarded but unanswered -- which includes everything queued inside
+    replicas).  Admission is denied once that exceeds
+    ``max_inflight_per_replica`` per *healthy* replica: beyond that
+    depth the M/M/N wait grows without bound and queueing more work
+    only converts requests into timeouts.  The fitted model turns the
+    excess into a ``Retry-After`` estimate: how long the fleet needs to
+    drain back under the admission line.
+    """
+
+    def __init__(self, max_inflight_per_replica: int = 16) -> None:
+        self.max_inflight_per_replica = max(1, int(max_inflight_per_replica))
+        self.rejected = 0
+
+    def limit(self, healthy_replicas: int) -> int:
+        return self.max_inflight_per_replica * max(1, healthy_replicas)
+
+    def admit(
+        self,
+        inflight: int,
+        healthy_replicas: int,
+        model: Optional[FleetModel] = None,
+    ) -> Dict[str, object]:
+        """{"admit": bool, "retry_after_s": int, ...} for one arrival."""
+        limit = self.limit(healthy_replicas)
+        if healthy_replicas >= 1 and inflight < limit:
+            return {"admit": True, "limit": limit}
+        self.rejected += 1
+        excess = max(1, inflight - limit + 1)
+        retry_after = 1
+        if model is not None and model.capacity_rps > 0:
+            retry_after = math.ceil(excess / model.capacity_rps)
+        return {
+            "admit": False,
+            "limit": limit,
+            "inflight": inflight,
+            "retry_after_s": max(1, min(30, retry_after)),
+        }

@@ -1,0 +1,181 @@
+"""The consistent-hash ring that partitions the ``ast_digest`` keyspace.
+
+Every serving replica keeps an LRU response cache keyed on
+``ast_digest(source) x task`` (:mod:`repro.serving.cache`).  Routing the
+same key to the same replica turns N replica caches into N *partitions*
+of one big cache instead of N duplicates of a small one: the fleet's
+aggregate cache capacity grows linearly with replicas, and a repeated
+program always lands where its answer already sits.
+
+The ring is the classic construction (Karger et al.): each replica name
+is hashed onto ``vnodes`` points of a 64-bit circle, a key is hashed to
+one point, and the key's **owner** is the first replica point clockwise
+from it.  Properties the fleet relies on, all tested:
+
+* **determinism** -- ownership is a pure function of the member names
+  (blake2b, no process-seeded hashing), so every router process, today
+  or after a restart, routes identically;
+* **balance** -- with enough virtual nodes the keyspace splits close to
+  uniformly across replicas;
+* **minimal remapping** -- removing a replica only reassigns the keys it
+  owned (its arc segments fall to their clockwise successors); every
+  other key keeps its owner, so surviving replicas keep their warm
+  caches through membership churn.
+
+:meth:`HashRing.preference` returns the owner followed by distinct
+successors -- the order the router tries replicas in when the owner is
+dead or draining.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Virtual nodes per replica.  128 points keeps the max/min keyspace
+#: share under ~1.3x for small fleets while membership changes stay
+#: cheap to apply (an insort/remove of 128 points).
+DEFAULT_VNODES = 128
+
+
+def _hash64(data: str) -> int:
+    """A stable 64-bit point on the ring (blake2b, process-independent)."""
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def request_key(digest: str, task: str) -> str:
+    """The routing key of one prediction request.
+
+    ``digest`` is the structural :func:`~repro.core.extraction.ast_digest`
+    of the parsed source -- the same value the replica's response cache
+    keys on -- and ``task`` disambiguates multi-model fleets, mirroring
+    the cache's ``cell`` component.  Layout-only variants of a program
+    therefore route (and hit) identically.
+    """
+    return f"{task}\x00{digest}"
+
+
+class HashRing:
+    """A consistent-hash ring over named replicas with virtual nodes."""
+
+    def __init__(
+        self, members: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._members: Dict[str, List[int]] = {}
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+        for name in members:
+            self.add(name)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, name: str) -> None:
+        if name in self._members:
+            return
+        points = []
+        for index in range(self.vnodes):
+            point = _hash64(f"{name}#{index}")
+            # A 64-bit collision across members is ~impossible, but the
+            # ring must stay well-defined if one happens: first owner
+            # keeps the point.
+            if point in self._owners:
+                continue
+            self._owners[point] = name
+            bisect.insort(self._points, point)
+            points.append(point)
+        self._members[name] = points
+
+    def remove(self, name: str) -> None:
+        points = self._members.pop(name, None)
+        if points is None:
+            return
+        for point in points:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> Optional[str]:
+        """The replica owning ``key`` (None on an empty ring)."""
+        if not self._points:
+            return None
+        point = _hash64(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap past 2**64 back to the first point
+        return self._owners[self._points[index]]
+
+    def preference(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Owner first, then distinct clockwise successors.
+
+        The failover order: when the owner is dead or draining the
+        router retries on ``preference(key)[1]``, whose cache is the
+        one that inherits this key range if the owner leaves for good.
+        """
+        if not self._points:
+            return []
+        wanted = len(self._members) if count is None else min(count, len(self._members))
+        point = _hash64(key)
+        start = bisect.bisect_right(self._points, point)
+        ordered: List[str] = []
+        seen = set()
+        for offset in range(len(self._points)):
+            ring_point = self._points[(start + offset) % len(self._points)]
+            name = self._owners[ring_point]
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+                if len(ordered) >= wanted:
+                    break
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, /fleet/stats)
+    # ------------------------------------------------------------------
+    def spread(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` each member owns (balance checks)."""
+        counts = {name: 0 for name in self._members}
+        for key in keys:
+            owner = self.owner(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts
+
+    def describe(self) -> dict:
+        return {
+            "members": self.members,
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }
+
+
+def remapped_fraction(
+    before: "HashRing", after: "HashRing", keys: Iterable[str]
+) -> Tuple[int, int]:
+    """(moved, total): keys whose owner differs between two rings."""
+    moved = 0
+    total = 0
+    for key in keys:
+        total += 1
+        if before.owner(key) != after.owner(key):
+            moved += 1
+    return moved, total

@@ -9,6 +9,8 @@ keep-alive connection; create one per thread when generating load.
 from __future__ import annotations
 
 import json
+import random
+import time
 from http.client import HTTPConnection, HTTPException
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlparse
@@ -24,9 +26,22 @@ class ServingError(RuntimeError):
 
 
 class ServingClient:
-    """Blocking JSON-over-HTTP access to a :class:`PredictionServer`."""
+    """Blocking JSON-over-HTTP access to a :class:`PredictionServer`.
 
-    def __init__(self, url: str, timeout: float = 60.0) -> None:
+    ``timeout_s`` bounds every socket operation.  A connection-refused
+    failure (the window where a fleet replica is between drain and
+    restart, or a router has not yet bound) is retried ``retries`` times
+    with exponential backoff plus jitter before surfacing -- so rolling
+    restarts behind a fleet never appear to callers as crashes.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 60.0,
+        retries: int = 1,
+        retry_backoff_s: float = 0.1,
+    ) -> None:
         parsed = urlparse(url if "//" in url else f"http://{url}")
         if parsed.scheme not in ("", "http"):
             raise ValueError(f"only http:// served; got {url!r}")
@@ -34,7 +49,10 @@ class ServingClient:
             raise ValueError(f"no host in server URL {url!r}")
         self.host = parsed.hostname
         self.port = parsed.port or 8017
-        self._connection = HTTPConnection(self.host, self.port, timeout=timeout)
+        self.timeout_s = float(timeout_s)
+        self.retries = max(0, int(retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
+        self._connection = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
 
     # ------------------------------------------------------------------
     # Transport
@@ -46,19 +64,38 @@ class ServingClient:
         body: Optional[bytes] = None,
         headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
-        """One raw round-trip (the escape hatch malformed-request tests use)."""
+        """One raw round-trip (the escape hatch malformed-request tests use).
+
+        Connection-refused is retried with backoff (see the class doc);
+        every other transport failure propagates immediately -- the
+        request may have partially executed, and only the caller knows
+        whether re-sending is safe.
+        """
         send_headers = {"Content-Type": "application/json"}
         if headers:
             send_headers.update(headers)
-        try:
-            self._connection.request(method, path, body=body, headers=send_headers)
-            response = self._connection.getresponse()
-            raw = response.read()
-        except (HTTPException, ConnectionError, OSError):
-            # The server closes the socket after protocol-level 4xx; a
-            # fresh connection keeps the client usable.
-            self._connection.close()
-            raise
+        for attempt in range(self.retries + 1):
+            try:
+                self._connection.request(method, path, body=body, headers=send_headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+            except ConnectionRefusedError:
+                self._connection.close()
+                if attempt >= self.retries:
+                    raise
+                # Exponential backoff with jitter: restarting replicas
+                # come back within tens of milliseconds, and the jitter
+                # keeps a thundering herd of clients from re-knocking in
+                # lockstep.
+                delay = self.retry_backoff_s * (2**attempt)
+                time.sleep(delay + random.uniform(0, delay))
+                continue
+            except (HTTPException, ConnectionError, OSError):
+                # The server closes the socket after protocol-level 4xx; a
+                # fresh connection keeps the client usable.
+                self._connection.close()
+                raise
+            break
         if response.will_close:
             self._connection.close()
         try:
@@ -99,6 +136,18 @@ class ServingClient:
 
     def stats(self) -> dict:
         return self._json("GET", "/stats")
+
+    # The fleet router speaks the same /predict dialect, plus two
+    # fleet-level routes; pointing a ServingClient at a router URL makes
+    # these available (a plain PredictionServer answers them with 404).
+    def fleet_stats(self) -> dict:
+        return self._json("GET", "/fleet/stats")
+
+    def fleet_reload(self, models: Optional[list] = None) -> dict:
+        payload: Dict[str, Any] = {}
+        if models is not None:
+            payload["models"] = list(models)
+        return self._json("POST", "/fleet/reload", payload)
 
     def close(self) -> None:
         self._connection.close()

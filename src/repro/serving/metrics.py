@@ -1,0 +1,97 @@
+"""Request-level serving metrics.
+
+:class:`FixedHistogram` is the small latency histogram the server keeps
+per endpoint and the fleet's capacity model consumes through ``/stats``:
+fixed millisecond buckets (so histograms from different replicas line up
+and can be merged by simple addition), plus count/sum/max so a mean
+service time falls out without storing samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Upper bucket bounds in milliseconds; the final bucket is unbounded.
+#: Fixed across every server so per-replica histograms are mergeable.
+LATENCY_BUCKETS_MS: Sequence[float] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class FixedHistogram:
+    """A fixed-bucket latency histogram with count/sum/max counters.
+
+    Single-writer (the server's event loop records into it); readers see
+    a consistent-enough snapshot because every field is a scalar or an
+    append-free list under the GIL.
+    """
+
+    __slots__ = ("bounds_ms", "counts", "count", "sum_ms", "max_ms")
+
+    def __init__(self, bounds_ms: Sequence[float] = LATENCY_BUCKETS_MS) -> None:
+        self.bounds_ms: List[float] = list(bounds_ms)
+        self.counts: List[int] = [0] * (len(self.bounds_ms) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        slot = len(self.bounds_ms)  # overflow bucket by default
+        for index, bound in enumerate(self.bounds_ms):
+            if ms <= bound:
+                slot = index
+                break
+        self.counts[slot] += 1
+        self.count += 1
+        self.sum_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+
+    @property
+    def mean_ms(self) -> float:
+        return self.sum_ms / self.count if self.count else 0.0
+
+    def quantile_ms(self, fraction: float) -> float:
+        """A bucket-resolution quantile estimate (upper bound of the bucket).
+
+        Good enough for capacity planning; the overflow bucket reports
+        the observed maximum since no upper bound exists there.
+        """
+        if not self.count:
+            return 0.0
+        target = max(1, int(round(fraction * self.count)))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(self.bounds_ms):
+                    return self.bounds_ms[index]
+                return self.max_ms
+        return self.max_ms  # pragma: no cover - loop always reaches target
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bounds_ms": list(self.bounds_ms),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum_ms": round(self.sum_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "p95_ms": round(self.quantile_ms(0.95), 3),
+        }
+
+    @classmethod
+    def merge(cls, histograms: Sequence[Dict[str, object]]) -> Dict[str, object]:
+        """Merge ``to_dict()`` snapshots from replicas (same fixed buckets)."""
+        merged = cls()
+        for snapshot in histograms:
+            if not snapshot or snapshot.get("bounds_ms") != merged.bounds_ms:
+                continue
+            counts = snapshot.get("counts", [])
+            for index, value in enumerate(counts[: len(merged.counts)]):
+                merged.counts[index] += int(value)
+            merged.count += int(snapshot.get("count", 0))
+            merged.sum_ms += float(snapshot.get("sum_ms", 0.0))
+            merged.max_ms = max(merged.max_ms, float(snapshot.get("max_ms", 0.0)))
+        return merged.to_dict()

@@ -28,43 +28,22 @@ from typing import Dict, Optional, Tuple
 from .batching import BatcherClosed, MicroBatcher
 from .cache import LruCache
 from .host import ModelHost, PredictRequest
+from .http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    BadRequest as _BadRequest,
+    HttpRequest as _HttpRequest,
+    read_request,
+    respond,
+)
+from .metrics import FixedHistogram
 
-#: Request body / header-block size bounds (a serving DoS guard, not a
-#: feature limit: a 1 MiB source file is far beyond corpus file sizes).
-MAX_BODY_BYTES = 1 << 20
-MAX_HEADER_BYTES = 16 << 10
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-class _HttpRequest:
-    __slots__ = ("method", "path", "headers", "body")
-
-    def __init__(self, method: str, path: str, headers: Dict[str, str], body: bytes):
-        self.method = method
-        self.path = path
-        self.headers = headers
-        self.body = body
-
-    @property
-    def keep_alive(self) -> bool:
-        return self.headers.get("connection", "keep-alive").lower() != "close"
-
-
-class _BadRequest(Exception):
-    """Unparseable HTTP; answered with the status and the connection closed."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "PredictionServer",
+    "ServerThread",
+]
 
 
 class PredictionServer:
@@ -97,6 +76,9 @@ class PredictionServer:
         self._errors = 0
         self._draining = False
         self._started_monotonic = 0.0
+        #: Per-endpoint request-latency histograms (fixed buckets, so a
+        #: fleet can merge replicas' histograms by addition).
+        self._latency: Dict[str, FixedHistogram] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -136,6 +118,28 @@ class PredictionServer:
             await asyncio.gather(*self._connection_tasks, return_exceptions=True)
         self.host.close()
 
+    async def abort(self) -> None:
+        """Die *now*: close the listener and every connection, no drain.
+
+        The deliberately rude counterpart of :meth:`shutdown`, used by
+        fleet tests (and :meth:`ReplicaThread.kill`) to simulate a
+        crashed replica: in-flight requests see a connection reset, which
+        is exactly what the front tier's retry-on-successor must absorb.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        try:
+            await self.batcher.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        self.host.close()
+
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
@@ -161,9 +165,9 @@ class PredictionServer:
         try:
             while True:
                 try:
-                    request = await self._read_request(reader)
+                    request = await read_request(reader)
                 except _BadRequest as error:
-                    await self._respond(
+                    await respond(
                         writer, error.status, {"error": str(error)}, keep_alive=False
                     )
                     break
@@ -171,11 +175,15 @@ class PredictionServer:
                     break
                 self._requests += 1
                 self._active_requests += 1
+                started = time.perf_counter()
                 try:
                     status, payload = await self._route(request)
                     if status >= 400:
                         self._errors += 1
-                    await self._respond(
+                    self._observe_latency(
+                        request.path, time.perf_counter() - started
+                    )
+                    await respond(
                         writer, status, payload, keep_alive=request.keep_alive
                     )
                 finally:
@@ -183,6 +191,12 @@ class PredictionServer:
                 if not request.keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Connection tasks are only cancelled by shutdown()/abort(),
+            # which await them right after; completing normally here (a
+            # deliberate swallow) keeps asyncio's stream machinery from
+            # logging every teardown as an unhandled cancellation.
             pass
         finally:
             if task is not None:
@@ -193,71 +207,13 @@ class PredictionServer:
             except (ConnectionResetError, BrokenPipeError, RuntimeError):
                 pass
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[_HttpRequest]:
-        try:
-            request_line = await reader.readline()
-        except (ValueError, asyncio.LimitOverrunError) as error:
-            raise _BadRequest(400, f"oversized request line: {error}") from error
-        if not request_line:
-            return None  # clean EOF between keep-alive requests
-        parts = request_line.decode("latin-1").strip().split()
-        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
-            raise _BadRequest(400, "malformed HTTP request line")
-        method, path, _version = parts
-        headers: Dict[str, str] = {}
-        header_bytes = 0
-        while True:
-            try:
-                line = await reader.readline()
-            except (ValueError, asyncio.LimitOverrunError) as error:
-                raise _BadRequest(413, f"oversized header line: {error}") from error
-            header_bytes += len(line)
-            if header_bytes > MAX_HEADER_BYTES:
-                raise _BadRequest(413, "header block too large")
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, sep, value = line.decode("latin-1").partition(":")
-            if not sep:
-                raise _BadRequest(400, f"malformed header line {line!r}")
-            headers[name.strip().lower()] = value.strip()
-        body = b""
-        length_header = headers.get("content-length", "0")
-        try:
-            content_length = int(length_header)
-        except ValueError:
-            raise _BadRequest(400, f"bad Content-Length {length_header!r}")
-        if content_length > MAX_BODY_BYTES:
-            # Drain (a bounded amount of) the declared body first, so the
-            # client finishes sending and receives the 413 instead of a
-            # connection reset mid-upload.
-            try:
-                await reader.readexactly(min(content_length, 8 * MAX_BODY_BYTES))
-            except asyncio.IncompleteReadError:
-                pass
-            raise _BadRequest(413, f"body exceeds {MAX_BODY_BYTES} bytes")
-        if content_length > 0:
-            body = await reader.readexactly(content_length)
-        return _HttpRequest(method, path.split("?", 1)[0], headers, body)
-
-    async def _respond(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: dict,
-        keep_alive: bool,
-    ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
+    def _observe_latency(self, path: str, seconds: float) -> None:
+        histogram = self._latency.get(path)
+        if histogram is None:
+            if len(self._latency) >= 16:  # unknown-path flood guard
+                return
+            histogram = self._latency[path] = FixedHistogram()
+        histogram.observe(seconds)
 
     # ------------------------------------------------------------------
     # Routing
@@ -284,8 +240,11 @@ class PredictionServer:
         status = "draining" if self._draining else "ok"
         return (503 if self._draining else 200), {
             "status": status,
+            "state": status,
             "models": self.host.cells(),
             "workers": self.host.workers,
+            "inflight": self._active_requests,
+            "queued": self.batcher.depth,
             "uptime_seconds": round(self._uptime(), 3),
         }
 
@@ -302,6 +261,15 @@ class PredictionServer:
             "coalesced": self._coalesced,
             "errors": self._errors,
             "draining": self._draining,
+            # What the fleet's grey-box capacity model consumes: current
+            # congestion (queue depth + in-flight) and per-endpoint
+            # latency histograms to fit a service rate from.
+            "inflight": self._active_requests,
+            "queue_depth": self.batcher.depth,
+            "latency": {
+                path: histogram.to_dict()
+                for path, histogram in self._latency.items()
+            },
             "cache": self.cache.stats(),
             "batcher": self.batcher.stats(),
             "extraction": extraction,
@@ -425,6 +393,7 @@ class ServerThread:
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        self._stopped = False
 
     def __enter__(self) -> str:
         self._thread = threading.Thread(target=self._run, daemon=True)
@@ -437,14 +406,30 @@ class ServerThread:
         return self.server.url
 
     def __exit__(self, *_exc_info) -> None:
-        if self.loop is None:
+        if self.loop is None or self._stopped:
             return
+        self._stopped = True
         asyncio.run_coroutine_threadsafe(self.server.shutdown(), self.loop).result(
             timeout=60
         )
         self.loop.call_soon_threadsafe(self.loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=60)
+
+    def kill(self) -> None:
+        """Stop abruptly, no drain: the crash-a-replica lever fleet tests use."""
+        if self.loop is None or self._stopped:
+            return
+        self._stopped = True
+        try:
+            asyncio.run_coroutine_threadsafe(self.server.abort(), self.loop).result(
+                timeout=30
+            )
+        except Exception:  # pragma: no cover - a crash is allowed to be messy
+            pass
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
 
     def _run(self) -> None:
         loop = asyncio.new_event_loop()

@@ -18,7 +18,10 @@ while producing **bit-identical models and predictions** to an in-memory
     exactly as a sequential run would -- same Pipeline view code, fresh
     private :class:`~repro.core.interning.FeatureSpace` -- so shards are
     embarrassingly parallel (``workers > 1`` builds one shard per
-    process) yet fully deterministic.
+    process) yet fully deterministic.  ``partition=(i, n)`` builds only
+    the i-th round-robin slice of the full plan -- with *global* shard
+    indices -- so n machines can each build one partition and
+    :func:`gather_shards` reassembles (and validates) the complete set.
     :meth:`~repro.core.service.ExtractionService.index_to_shards`
     delegates here for raw extraction-output shards.
 :mod:`repro.shards.merge`
@@ -56,6 +59,9 @@ from .build import (
     ShardBuildResult,
     build_spec_shards,
     build_triples_shards,
+    gather_shards,
+    parse_partition,
+    partition_plan,
     plan_shards,
 )
 from .corpus import ShardedCorpus
@@ -100,8 +106,11 @@ __all__ = [
     "VocabMerger",
     "build_spec_shards",
     "build_triples_shards",
+    "gather_shards",
     "load_manifest",
     "merge_shards",
+    "parse_partition",
+    "partition_plan",
     "plan_shards",
     "save_manifest",
 ]

@@ -22,9 +22,10 @@ same shards sequentially -- byte-identical files either way.
 from __future__ import annotations
 
 import os
+import shutil
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.extraction import ExtractionConfig, PathExtractor
 from ..core.interning import FeatureSpace
@@ -51,6 +52,37 @@ def plan_shards(n_files: int, shard_size: int) -> List[Tuple[int, int]]:
         (start, min(start + shard_size, n_files))
         for start in range(0, n_files, shard_size)
     ]
+
+
+def parse_partition(text: str) -> Tuple[int, int]:
+    """Parse a ``"i/n"`` partition designator (1-based) into ``(i, n)``.
+
+    ``"2/4"`` means: of the full shard plan, build only the shards
+    assigned to the second of four partitions.  Every partition computes
+    the *same* global plan from the same corpus, so shard indices (and
+    file names) stay global -- ``gather_shards`` just collects them.
+    """
+    index_text, sep, total_text = text.partition("/")
+    try:
+        index, total = int(index_text), int(total_text)
+    except ValueError:
+        index = total = 0
+    if not sep or total < 1 or not (1 <= index <= total):
+        raise ShardError(
+            f"bad partition {text!r}; expected i/n with 1 <= i <= n (e.g. 2/4)"
+        )
+    return index, total
+
+
+def partition_plan(n_shards: int, partition: Tuple[int, int]) -> List[int]:
+    """The global shard indices one partition builds (round-robin).
+
+    Round-robin (shard ``s`` goes to partition ``s mod n``) balances
+    partitions to within one shard of each other even when the corpus
+    does not divide evenly.
+    """
+    index, total = partition
+    return [s for s in range(n_shards) if s % total == index - 1]
 
 
 def extraction_meta(config: ExtractionConfig) -> Dict[str, object]:
@@ -87,6 +119,9 @@ class ShardBuildResult:
     record_paths: int = 0
     seconds: float = 0.0
     workers: int = 1
+    #: Set on partitioned builds: ("i/n", total shards in the full plan).
+    partition: Optional[str] = None
+    planned_shards: int = 0
 
     @property
     def shards(self) -> int:
@@ -94,7 +129,7 @@ class ShardBuildResult:
 
     def summary(self) -> dict:
         """JSON-ready stats (what ``pigeon shard build`` prints)."""
-        return {
+        report = {
             "out_dir": self.out_dir,
             "shards": self.shards,
             "files": self.files,
@@ -106,6 +141,10 @@ class ShardBuildResult:
             ),
             "workers": self.workers,
         }
+        if self.partition is not None:
+            report["partition"] = self.partition
+            report["planned_shards"] = self.planned_shards
+        return report
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +245,7 @@ def build_spec_shards(
     shard_size: int = 32,
     workers: int = 1,
     prefix: str = "corpus",
+    partition: Optional[Tuple[int, int]] = None,
 ) -> ShardBuildResult:
     """Shard a corpus into training-ready view shards for one spec.
 
@@ -214,6 +254,12 @@ def build_spec_shards(
     context records).  With ``workers > 1`` each shard is built by its
     own process; ids are deterministic either way because every shard
     owns a private vocabulary.
+
+    ``partition=(i, n)`` builds only the i-th (1-based) of n round-robin
+    slices of the full shard plan -- shard indices, file names and
+    contents stay exactly what a full build would produce, so n machines
+    each building one partition and :func:`gather_shards` collecting the
+    outputs yields a byte-identical shard set.
     """
     from ..api import Pipeline
     from ..api.protocols import GRAPH_VIEW
@@ -246,8 +292,9 @@ def build_spec_shards(
         )
         for shard_index, (start, end) in enumerate(plan_shards(len(sources), shard_size))
     ]
+    tasks, planned = _partition_tasks(tasks, partition, index_position=3)
     summaries, used_workers = _run_shard_tasks(_build_view_shard, tasks, workers)
-    return _collect(out_dir, summaries, started, used_workers)
+    return _collect(out_dir, summaries, started, used_workers, partition, planned)
 
 
 # ----------------------------------------------------------------------
@@ -298,6 +345,7 @@ def build_triples_shards(
     shard_size: int = 32,
     workers: int = 1,
     prefix: str = "extract",
+    partition: Optional[Tuple[int, int]] = None,
 ) -> ShardBuildResult:
     """Shard raw extraction output (the service-level entry point)."""
     base_meta = {
@@ -320,13 +368,28 @@ def build_triples_shards(
         )
         for shard_index, (start, end) in enumerate(plan_shards(len(sources), shard_size))
     ]
+    tasks, planned = _partition_tasks(tasks, partition, index_position=4)
     summaries, used_workers = _run_shard_tasks(_build_triples_shard, tasks, workers)
-    return _collect(out_dir, summaries, started, used_workers)
+    return _collect(out_dir, summaries, started, used_workers, partition, planned)
 
 
 # ----------------------------------------------------------------------
 # Shared fan-out machinery
 # ----------------------------------------------------------------------
+
+
+def _partition_tasks(
+    tasks: List[tuple], partition: Optional[Tuple[int, int]], index_position: int
+) -> Tuple[List[tuple], int]:
+    """Keep only this partition's shard tasks; returns (tasks, full-plan size)."""
+    planned = len(tasks)
+    if partition is None:
+        return tasks, planned
+    index, total = partition
+    if not (1 <= index <= total):
+        raise ShardError(f"bad partition ({index}, {total}); need 1 <= i <= n")
+    mine = set(partition_plan(planned, partition))
+    return [task for task in tasks if task[index_position] in mine], planned
 
 
 def _run_shard_tasks(
@@ -367,7 +430,12 @@ def _run_shard_tasks(
 
 
 def _collect(
-    out_dir: str, summaries: List[dict], started: float, workers: int
+    out_dir: str,
+    summaries: List[dict],
+    started: float,
+    workers: int,
+    partition: Optional[Tuple[int, int]] = None,
+    planned: int = 0,
 ) -> ShardBuildResult:
     result = ShardBuildResult(out_dir=out_dir, workers=max(1, int(workers)))
     for summary in summaries:
@@ -376,4 +444,58 @@ def _collect(
         result.elements += summary["elements"]
         result.record_paths += summary["paths"]
     result.seconds = time.perf_counter() - started
+    if partition is not None:
+        result.partition = f"{partition[0]}/{partition[1]}"
+        result.planned_shards = planned
     return result
+
+
+# ----------------------------------------------------------------------
+# Gathering partitioned builds back into one shard set
+# ----------------------------------------------------------------------
+
+
+def gather_shards(partition_dirs: Sequence[str], out_dir: str) -> dict:
+    """Collect partitioned shard builds into one validated shard set.
+
+    Copies every ``*.shard.json`` from each partition directory into
+    ``out_dir`` (file names carry the global shard index, so a clash
+    means two partitions built the same shard -- an error, not a merge),
+    then opens the assembled directory as a :class:`ShardSet`, whose
+    validation proves the partitions are complete and compatible: shard
+    indices form exactly ``0..n-1`` and every header agrees on
+    kind/spec/extraction.  Returns the gathered set's summary.
+    """
+    from .format import ShardSet
+
+    if not partition_dirs:
+        raise ShardError("pass at least one partition directory to gather")
+    os.makedirs(out_dir, exist_ok=True)
+    gathered: Dict[str, str] = {}  # shard file name -> source partition dir
+    for partition_dir in partition_dirs:
+        if not os.path.isdir(partition_dir):
+            raise ShardError(f"partition directory {partition_dir!r} does not exist")
+        names = sorted(
+            name
+            for name in os.listdir(partition_dir)
+            if name.endswith(".shard.json")
+        )
+        if not names:
+            raise ShardError(f"no shard files in partition {partition_dir!r}")
+        for name in names:
+            previous = gathered.get(name)
+            if previous is not None:
+                raise ShardError(
+                    f"shard {name!r} appears in both {previous!r} and "
+                    f"{partition_dir!r}; partitions must be disjoint"
+                )
+            gathered[name] = partition_dir
+            source = os.path.join(partition_dir, name)
+            destination = os.path.join(out_dir, name)
+            if os.path.abspath(source) != os.path.abspath(destination):
+                shutil.copyfile(source, destination)
+    shard_set = ShardSet.open(out_dir)  # completeness + agreement checks
+    summary = shard_set.summary()
+    summary["out_dir"] = out_dir
+    summary["partitions"] = len(partition_dirs)
+    return summary

@@ -193,15 +193,28 @@ class TestHealthAndStats:
         assert health["status"] == "ok"
         assert health["models"] == ["javascript/variable_naming/ast-paths/crf"]
         assert health["uptime_seconds"] >= 0
+        assert health["inflight"] >= 0
+        assert health["queued"] >= 0
 
     def test_stats_shape(self, live_server):
         _server, url = live_server
         with ServingClient(url) as client:
+            client.predict(NOVEL_JS)
             stats = client.stats()
         assert {"cache", "batcher", "extraction", "requests"} <= set(stats)
         assert "hit_rate" in stats["cache"]
         cell = "javascript/variable_naming/ast-paths/crf"
         assert "asts" in stats["extraction"][cell]
+        # Load observability (what a fleet router merges and fits its
+        # capacity model from): instantaneous depth plus per-endpoint
+        # fixed-bucket latency histograms.
+        assert stats["inflight"] == 1  # the /stats request itself
+        assert stats["queue_depth"] == 0
+        histogram = stats["latency"]["/predict"]
+        assert histogram["count"] >= 1
+        assert histogram["sum_ms"] > 0
+        assert histogram["p95_ms"] > 0
+        assert sum(histogram["counts"]) == histogram["count"]
 
 
 class TestPredict:
@@ -545,3 +558,45 @@ class TestLruCache:
         cache.put("a", 1)
         assert cache.get("a") is None
         assert len(cache) == 0
+
+
+class TestClientRetry:
+    """The connection-refused retry that hides rolling restarts."""
+
+    def _free_port(self):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            return probe.getsockname()[1]
+
+    def test_no_retries_surfaces_connection_refused(self):
+        port = self._free_port()
+        client = ServingClient(f"http://127.0.0.1:{port}", retries=0)
+        with pytest.raises(ConnectionRefusedError):
+            client.healthz()
+
+    def test_retry_bridges_a_late_binding_server(self, model_path):
+        # Nothing listens when the first attempt knocks; the server
+        # binds during the backoff window and the retry succeeds --
+        # exactly the gap a replica leaves between drain and restart.
+        port = self._free_port()
+        host = ModelHost([model_path], workers=0)
+        server = PredictionServer(host, port=port)
+
+        def bind_late():
+            time.sleep(0.15)
+            with ServerThread(server):
+                done.wait(timeout=30)
+
+        done = threading.Event()
+        opener = threading.Thread(target=bind_late)
+        opener.start()
+        try:
+            client = ServingClient(
+                f"http://127.0.0.1:{port}", retries=4, retry_backoff_s=0.1
+            )
+            assert client.healthz()["status"] == "ok"
+        finally:
+            done.set()
+            opener.join(timeout=30)

@@ -29,8 +29,11 @@ from repro.shards import (
     ShardedCorpus,
     VocabMerger,
     build_spec_shards,
+    gather_shards,
     load_manifest,
     merge_shards,
+    parse_partition,
+    partition_plan,
     plan_shards,
     save_manifest,
 )
@@ -180,6 +183,95 @@ class TestShardSet:
     def test_empty_set_raises(self, tmp_path):
         with pytest.raises(ShardError, match="no \\*.shard.json"):
             ShardSet.open(str(tmp_path))
+
+
+class TestPartitionedBuild:
+    def test_parse_partition(self):
+        assert parse_partition("1/1") == (1, 1)
+        assert parse_partition("2/4") == (2, 4)
+        for bad in ("0/4", "5/4", "x/2", "3", "2/0", "-1/2", "2/-4", "/"):
+            with pytest.raises(ShardError, match="partition"):
+                parse_partition(bad)
+
+    def test_partition_plan_is_complete_disjoint_and_balanced(self):
+        slices = [partition_plan(10, (i, 3)) for i in (1, 2, 3)]
+        covered = sorted(index for indices in slices for index in indices)
+        assert covered == list(range(10))  # complete and disjoint
+        sizes = [len(indices) for indices in slices]
+        assert max(sizes) - min(sizes) <= 1  # round-robin balance
+
+    def test_partitions_gather_byte_identical_to_full_build(
+        self, crf_spec, corpus_sources, shard_dir, tmp_path
+    ):
+        partitions = []
+        for index in (1, 2, 3):
+            out = tmp_path / f"part{index}"
+            result = build_spec_shards(
+                crf_spec,
+                corpus_sources,
+                str(out),
+                shard_size=6,
+                partition=(index, 3),
+            )
+            assert result.partition == f"{index}/3"
+            assert result.planned_shards == len(os.listdir(shard_dir))
+            assert result.summary()["partition"] == f"{index}/3"
+            partitions.append(str(out))
+        gathered = tmp_path / "gathered"
+        summary = gather_shards(partitions, str(gathered))
+        assert summary["partitions"] == 3
+        full_names = sorted(os.listdir(shard_dir))
+        assert sorted(os.listdir(str(gathered))) == full_names
+        assert summary["shards"] == len(full_names)
+        for name in full_names:
+            with open(os.path.join(shard_dir, name), "rb") as full:
+                with open(str(gathered / name), "rb") as part:
+                    assert full.read() == part.read()
+
+    def test_gather_rejects_overlapping_partitions(self, shard_dir, tmp_path):
+        with pytest.raises(ShardError, match="disjoint"):
+            gather_shards([shard_dir, shard_dir], str(tmp_path / "out"))
+
+    def test_gather_detects_a_missing_partition(
+        self, crf_spec, corpus_sources, tmp_path
+    ):
+        only = tmp_path / "part1"
+        build_spec_shards(
+            crf_spec, corpus_sources, str(only), shard_size=6, partition=(1, 2)
+        )
+        with pytest.raises(ShardMismatchError, match="missing shards"):
+            gather_shards([str(only)], str(tmp_path / "out"))
+
+    def test_gather_requires_existing_nonempty_partitions(self, tmp_path):
+        with pytest.raises(ShardError, match="does not exist"):
+            gather_shards([str(tmp_path / "nope")], str(tmp_path / "out"))
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ShardError, match="no shard files"):
+            gather_shards([str(empty)], str(tmp_path / "out"))
+        with pytest.raises(ShardError, match="at least one"):
+            gather_shards([], str(tmp_path / "out"))
+
+    def test_triples_build_supports_partitions(self, corpus_sources, tmp_path):
+        service = ExtractionService(config=ExtractionConfig())
+        full = tmp_path / "full"
+        service.index_to_shards(corpus_sources[:8], "javascript", str(full), shard_size=3)
+        parts = []
+        for index in (1, 2):
+            out = tmp_path / f"p{index}"
+            service.index_to_shards(
+                corpus_sources[:8],
+                "javascript",
+                str(out),
+                shard_size=3,
+                partition=(index, 2),
+            )
+            parts.append(str(out))
+        gathered = tmp_path / "g"
+        gather_shards(parts, str(gathered))
+        for name in sorted(os.listdir(str(full))):
+            with open(str(full / name), "rb") as a, open(str(gathered / name), "rb") as b:
+                assert a.read() == b.read()
 
 
 class TestDeterministicBuild:
