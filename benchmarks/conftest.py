@@ -47,9 +47,14 @@ def emit_json(name: str, payload: dict) -> str:
     artifacts and what ``benchmarks/compare_bench.py`` gates against the
     committed baselines.
     """
+    from repro.resilience.atomicio import atomic_write_bytes
+
     path = os.path.join(results_dir(), f"{name}.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
+    # Atomic commit: a crashed benchmark run never leaves a torn report
+    # for compare_bench.py (or a baseline promotion) to misread.
+    atomic_write_bytes(
+        path, (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    )
     return path
 
 #: Benchmark corpus per language: large enough for paper-like shapes,

@@ -70,7 +70,7 @@ class CrfLearner(_LearnerBase):
         """The trained model's feature space (None before training)."""
         return self.model.space if self.model is not None else None
 
-    def fit(self, views: Iterable[CrfGraph]) -> LearnerStats:
+    def fit(self, views: Iterable[CrfGraph], checkpoint=None) -> LearnerStats:
         # Anything sequence-shaped (a list of graphs, or a streaming
         # ShardedCorpus with len + random access) flows through the
         # trainer as-is; one-shot iterables materialise once.
@@ -78,7 +78,7 @@ class CrfLearner(_LearnerBase):
             graphs = views
         else:
             graphs = list(views)
-        model, stats = CrfTrainer(self.config).train(graphs)
+        model, stats = CrfTrainer(self.config).train(graphs, checkpoint=checkpoint)
         self.model = model
         return LearnerStats(parameters=stats.parameters, train_seconds=stats.train_seconds)
 
@@ -129,13 +129,13 @@ class Word2vecLearner(_LearnerBase):
     def trained(self) -> bool:
         return self.predictor is not None
 
-    def fit(self, views: Iterable[ContextMap]) -> LearnerStats:
+    def fit(self, views: Iterable[ContextMap], checkpoint=None) -> LearnerStats:
         pairs: List[Tuple[str, str]] = []
         for view in views:
             for _binding, (gold, tokens) in view.items():
                 for token in tokens:
                     pairs.append((gold, token))
-        model, stats = train_sgns(pairs, self.config)
+        model, stats = train_sgns(pairs, self.config, checkpoint=checkpoint)
         self.predictor = ContextPredictor(model)
         parameters = len(model.words) * model.dim + len(model.contexts) * model.dim
         return LearnerStats(parameters=parameters, train_seconds=stats.train_seconds)

@@ -25,7 +25,6 @@ Baselines are the same one-line change the paper describes::
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
@@ -33,6 +32,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..lang.base import languages, parse_source
+from ..resilience import faults
+from ..resilience.atomicio import read_stamped_json, stamped_json_bytes, atomic_write_bytes
+from ..resilience.checkpoint import (
+    TrainerCheckpoint,
+    corpus_fingerprint,
+    shards_fingerprint,
+)
 from .learners import learners
 from .protocols import (
     GRAPH_VIEW,
@@ -163,6 +169,8 @@ class Pipeline:
         shards: Optional[object] = None,
         merged: Optional[object] = None,
         cache_shards: int = 2,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> PipelineStats:
         """Train from source texts, or stream a sharded corpus.
 
@@ -185,16 +193,35 @@ class Pipeline:
         :class:`~repro.shards.MergedSpace` (or a manifest file written
         by ``pigeon shard merge --out``); its provenance is checked
         against the shard digests.
+
+        ``checkpoint`` names a file the trainer atomically rewrites at
+        every epoch boundary; with ``resume=True`` an existing
+        checkpoint (verified against this spec and a fingerprint of the
+        training data) is restored and training continues from the last
+        completed epoch, producing a model bit-identical to the
+        uninterrupted run.
         """
         if (sources is None) == (shards is None):
             raise TypeError("pass either sources or shards=, not both")
         if merged is not None and shards is None:
             raise TypeError("merged= only applies to shards= training")
+        if resume and checkpoint is None:
+            raise TypeError("resume=True needs a checkpoint= path")
         if shards is not None:
-            return self._train_from_shards(shards, merged, cache_shards)
+            return self._train_from_shards(
+                shards, merged, cache_shards, checkpoint=checkpoint, resume=resume
+            )
+        sources = list(sources)
+        ckpt = self._open_checkpoint(
+            checkpoint, resume, lambda: corpus_fingerprint(sources)
+        )
         programs = [self.parse(source, name=f"train:{i}") for i, source in enumerate(sources)]
         views = [self.view(program) for program in programs]
-        learner_stats = self.learner.fit(views)
+        learner_stats = (
+            self.learner.fit(views)
+            if ckpt is None
+            else self.learner.fit(views, checkpoint=ckpt)
+        )
         self.stats = PipelineStats(
             files_trained=len(programs),
             elements_trained=sum(len(view) for view in views),
@@ -203,11 +230,24 @@ class Pipeline:
         )
         return self.stats
 
+    def _open_checkpoint(self, path, resume, fingerprint):
+        """Build the :class:`TrainerCheckpoint` for this run (or None)."""
+        if path is None:
+            return None
+        return TrainerCheckpoint.open(
+            os.fspath(path),
+            spec=self.spec.to_dict(),
+            corpus=fingerprint(),
+            resume=resume,
+        )
+
     def _train_from_shards(
         self,
         shards: object,
         merged: Optional[object] = None,
         cache_shards: int = 2,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> PipelineStats:
         """Streamed training over a sharded corpus (see :meth:`train`)."""
         from ..shards import MergedSpace, ShardSet, ShardedCorpus, load_manifest
@@ -255,7 +295,14 @@ class Pipeline:
         binder = getattr(self.learner, "bind_space", None)
         if binder is not None:
             binder(corpus.space)
-        learner_stats = self.learner.fit(corpus)
+        ckpt = self._open_checkpoint(
+            checkpoint, resume, lambda: shards_fingerprint(shard_set)
+        )
+        learner_stats = (
+            self.learner.fit(corpus)
+            if ckpt is None
+            else self.learner.fit(corpus, checkpoint=ckpt)
+        )
         self.stats = PipelineStats(
             files_trained=len(corpus),
             elements_trained=corpus.elements,
@@ -320,8 +367,10 @@ class Pipeline:
             "spec": self.spec.to_dict(),
             "learner_state": self.learner.state_dict(),
         }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        faults.fire("pipeline.save")
+        # Digest-stamped + atomic: a crash leaves the old model or the
+        # complete new one, and Pipeline.load verifies the digest.
+        atomic_write_bytes(os.fspath(path), stamped_json_bytes(payload))
 
     @classmethod
     def load(cls, path: str) -> "Pipeline":
@@ -330,8 +379,11 @@ class Pipeline:
         The reloaded pipeline produces bit-identical predictions and
         suggestion scores.
         """
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        payload = read_stamped_json(
+            path, hint="the saved model is torn -- retrain or restore a backup"
+        )
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path!r} is not a saved pipeline")
         fmt = payload.get("format")
         if fmt == "pigeon-pipeline/1":
             raise ValueError(

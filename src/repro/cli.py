@@ -205,7 +205,7 @@ def cmd_shard_build(args: argparse.Namespace) -> int:
         result = service.index_to_shards(
             sources, language, args.out,
             shard_size=args.shard_size, workers=args.workers,
-            partition=partition,
+            partition=partition, resume=args.resume,
         )
     else:
         extraction = {}
@@ -223,7 +223,7 @@ def cmd_shard_build(args: argparse.Namespace) -> int:
         result = build_spec_shards(
             spec, sources, args.out,
             shard_size=args.shard_size, workers=args.workers,
-            partition=partition,
+            partition=partition, resume=args.resume,
         )
     summary = dict(result.summary(), language=language, kind=args.kind)
     if args.json:
@@ -239,10 +239,15 @@ def cmd_shard_build(args: argparse.Namespace) -> int:
             f"{summary['shards']} shards, {summary['files']} files, "
             f"{summary['paths']} path records -> {args.out}{partition_note}"
         )
+        resumed_note = (
+            f", {summary['skipped']} verified shards skipped"
+            if "skipped" in summary
+            else ""
+        )
         print(
             f"built in {summary['seconds']:.2f}s "
             f"({summary['files_per_second']:.0f} files/s, "
-            f"workers={summary['workers']})"
+            f"workers={summary['workers']}{resumed_note})"
         )
     return 0
 
@@ -319,6 +324,21 @@ def cmd_shard_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _checkpoint_args(args: argparse.Namespace):
+    """Resolve --checkpoint/--resume into (path, resume) for train()."""
+    checkpoint = args.checkpoint
+    resume = False
+    if args.resume:
+        if checkpoint and checkpoint != args.resume:
+            raise SystemExit(
+                "error: --checkpoint and --resume name different files; "
+                "--resume CKPT already implies checkpointing to CKPT"
+            )
+        checkpoint = args.resume
+        resume = True
+    return checkpoint, resume
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     if args.shards:
         return _train_from_shards(args)
@@ -342,8 +362,13 @@ def cmd_train(args: argparse.Namespace) -> int:
         training={"epochs": args.epochs},
         sgns={"epochs": args.epochs},
     )
+    checkpoint, resume = _checkpoint_args(args)
     pipeline = Pipeline(spec)
-    stats = pipeline.train(_training_sources(args, args.language))
+    stats = pipeline.train(
+        _training_sources(args, args.language),
+        checkpoint=checkpoint,
+        resume=resume,
+    )
     pipeline.save(args.model)
     print(json.dumps(_train_report(args.model, spec, stats)))
     return 0
@@ -385,8 +410,11 @@ def _train_from_shards(args: argparse.Namespace) -> int:
                 f"error: shards were built for {axis} {built!r}, "
                 f"not {given!r}"
             )
+    checkpoint, resume = _checkpoint_args(args)
     pipeline = Pipeline(spec)
-    stats = pipeline.train(shards=shard_set, merged=args.merged)
+    stats = pipeline.train(
+        shards=shard_set, merged=args.merged, checkpoint=checkpoint, resume=resume
+    )
     pipeline.save(args.model)
     print(json.dumps(_train_report(args.model, spec, stats, shards=len(shard_set))))
     return 0
@@ -507,7 +535,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    except OSError as error:
+        _bind_error(error, args.host, args.port)
+        raise
     return 0
+
+
+def _bind_error(error: OSError, host: str, port: int) -> None:
+    """Turn a bind failure into a one-line exit, re-raise anything else."""
+    import errno
+
+    if error.errno in (errno.EADDRINUSE, errno.EACCES):
+        raise SystemExit(
+            f"error: cannot bind {host}:{port}: {error.strerror or error} "
+            f"(is another server already on that port?)"
+        ) from error
 
 
 def cmd_fleet_serve(args: argparse.Namespace) -> int:
@@ -584,6 +626,9 @@ def cmd_fleet_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    except OSError as error:
+        _bind_error(error, args.host, args.port)
+        raise
     finally:
         print("stopping replicas...", file=sys.stderr)
         replicas.stop()
@@ -735,6 +780,12 @@ def build_parser() -> argparse.ArgumentParser:
     shard_build.add_argument("--seed", type=int, default=8)
     shard_build.add_argument("--json", action="store_true", help="emit stats as JSON")
     shard_build.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-enter an interrupted build: verify the directory's build "
+        "journal, skip digest-verified completed shards, rebuild the rest",
+    )
+    shard_build.add_argument(
         "--partition",
         default=None,
         metavar="I/N",
@@ -805,6 +856,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--projects", type=int, default=16)
     train.add_argument("--epochs", type=int, default=5)
     train.add_argument("--seed", type=int, default=8)
+    train.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="CKPT",
+        help="atomically checkpoint trainer state to CKPT at every epoch",
+    )
+    train.add_argument(
+        "--resume",
+        default=None,
+        metavar="CKPT",
+        help="resume an interrupted run from CKPT (and keep checkpointing "
+        "to it); the finished model is bit-identical to an uninterrupted run",
+    )
     train.set_defaults(func=cmd_train)
 
     predict = sub.add_parser(

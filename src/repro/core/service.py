@@ -250,6 +250,7 @@ class ExtractionService:
         shard_size: int = 32,
         workers: Optional[int] = None,
         partition: Optional[Tuple[int, int]] = None,
+        resume: bool = False,
     ):
         """Persist a corpus's extraction output as on-disk shards.
 
@@ -278,6 +279,7 @@ class ExtractionService:
             shard_size=shard_size,
             workers=n_workers,
             partition=partition,
+            resume=resume,
         )
 
     def _map_parallel(

@@ -42,6 +42,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.extraction import ast_digest
 from ..lang.base import parse_source
+from ..resilience import faults
+from ..resilience.faults import FaultInjected
 from ..serving.http import (
     BadRequest,
     Connection,
@@ -402,38 +404,94 @@ class FleetRouter:
             return 400, {"error": f"cannot parse source: {error}"}, None
 
         key = request_key(digest, route_task)
+        # The forward path (owner attempt + backoff + successor retry)
+        # runs against one deadline derived from the caller's announced
+        # budget: a failover must never make the client wait longer than
+        # it said it would.  The header is the hint ServingClient sends;
+        # requests without one get the router's own cap.
+        budget = self.forward_timeout_s
+        hint = request.headers.get("x-request-timeout-s")
+        if hint is not None:
+            try:
+                announced = float(hint)
+            except ValueError:
+                announced = -1.0
+            if announced > 0:
+                budget = min(budget, announced)
+        deadline = time.monotonic() + budget
         self._inflight += 1
         try:
-            return await self._forward(key, request.body)
+            return await self._forward(key, request.body, deadline)
         finally:
             self._inflight -= 1
 
     async def _forward(
-        self, key: str, body: bytes
+        self, key: str, body: bytes, deadline: Optional[float] = None
     ) -> Tuple[int, dict, Optional[Dict[str, str]]]:
-        """Owner first; one backoff-then-retry on the ring successor."""
+        """Owner first; one backoff-then-retry on the ring successor.
+
+        All attempts (including backoff sleeps) share ``deadline``: per-
+        attempt timeouts shrink to the remaining budget, and when it runs
+        out the caller gets a 504 instead of a late answer it already
+        gave up on.
+        """
+        if deadline is None:
+            deadline = time.monotonic() + self.forward_timeout_s
         attempts = 0
         last_error: Optional[str] = None
+        retry_hint: Optional[float] = None
         for name in self.ring.preference(key):
             replica = self.replicas.get(name)
             if not replica.routable:
                 continue  # died between sync and forward
             if attempts >= 2:
                 break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                last_error = last_error or "request deadline exhausted"
+                break
             if attempts == 1:
                 self._failovers += 1
-                # Exponential backoff with jitter before the one retry:
-                # gives a restarting owner a beat to come back, and
-                # de-synchronizes concurrent failovers.
-                delay = self.retry_backoff_s * (2**attempts)
-                await asyncio.sleep(delay + random.uniform(0, delay))
+                if retry_hint is not None:
+                    # The draining replica told us when it expects to
+                    # take traffic again; honoring that beats guessing,
+                    # but never sleep past the caller's budget.
+                    delay = min(retry_hint, remaining, 1.0)
+                else:
+                    # Exponential backoff with jitter before the one
+                    # retry: gives a restarting owner a beat to come
+                    # back, and de-synchronizes concurrent failovers.
+                    delay = self.retry_backoff_s * (2**attempts)
+                    delay = min(delay + random.uniform(0, delay), remaining)
+                await asyncio.sleep(max(0.0, delay))
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    last_error = last_error or "request deadline exhausted"
+                    break
             attempts += 1
             try:
-                status, _headers, payload = await self._pool(replica).call(
-                    "POST", "/predict", body=body, timeout=self.forward_timeout_s
+                # Fault site "router.forward": "timeout" is a forward
+                # that never answers, "unavail"/"error" a connection
+                # yanked mid-flight -- exercised on the real failover
+                # path below, not a simulation of it.
+                action = faults.fire("router.forward")
+                if action == "timeout":
+                    raise asyncio.TimeoutError
+                if action == "unavail":
+                    raise ConnectionResetError("injected fault: forward dropped")
+                status, headers, payload = await self._pool(replica).call(
+                    "POST",
+                    "/predict",
+                    body=body,
+                    timeout=min(self.forward_timeout_s, remaining),
                 )
             except asyncio.TimeoutError:
-                last_error = f"replica {name} timed out after {self.forward_timeout_s}s"
+                last_error = f"replica {name} timed out"
+                replica.mark_failure()
+                self._sync_ring()
+                continue
+            except FaultInjected as error:
+                last_error = f"replica {name} unreachable: {error}"
                 replica.mark_failure()
                 self._sync_ring()
                 continue
@@ -447,8 +505,15 @@ class FleetRouter:
                 self._sync_ring()
                 continue
             if status == 503:
-                # Alive but draining (rolling reload): route around it.
+                # Alive but draining (rolling reload): route around it,
+                # keeping its Retry-After hint for the backoff above.
                 last_error = f"replica {name} is draining"
+                hinted = headers.get("retry-after")
+                if hinted is not None:
+                    try:
+                        retry_hint = max(0.0, float(hinted))
+                    except ValueError:
+                        retry_hint = None
                 replica.mark_draining()
                 self._sync_ring()
                 continue
@@ -457,7 +522,8 @@ class FleetRouter:
             return status, payload, {"X-Fleet-Replica": name}
         if last_error is None:
             return 503, {"error": "no healthy replica to route to"}, None
-        status = 504 if "timed out" in last_error else 502
+        timed_out = "timed out" in last_error or "deadline" in last_error
+        status = 504 if timed_out else 502
         return status, {"error": f"fleet forward failed: {last_error}"}, None
 
     # ------------------------------------------------------------------

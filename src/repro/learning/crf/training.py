@@ -16,6 +16,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ...resilience import faults
+from ...resilience.checkpoint import CheckpointMismatchError, TrainerCheckpoint
 from .graph import CrfGraph
 from .inference import map_inference
 from .model import CrfModel, PairKey, UnaryKey
@@ -57,7 +59,11 @@ class CrfTrainer:
     def __init__(self, config: Optional[TrainingConfig] = None) -> None:
         self.config = config or TrainingConfig()
 
-    def train(self, graphs: Sequence[CrfGraph]) -> Tuple[CrfModel, TrainingStats]:
+    def train(
+        self,
+        graphs: Sequence[CrfGraph],
+        checkpoint: Optional[TrainerCheckpoint] = None,
+    ) -> Tuple[CrfModel, TrainingStats]:
         cfg = self.config
         # The model shares the graphs' feature space: factor ids in the
         # graphs index directly into the model's weight keys.  A corpus
@@ -108,7 +114,66 @@ class CrfTrainer:
 
         rng = random.Random(cfg.seed)
         order = list(range(len(graphs)))
-        for epoch in range(cfg.epochs):
+
+        # Resume: the checkpoint snapshot is the complete mid-training
+        # state -- weights, lazy-average accumulators, the shuffle RNG
+        # *and* the order list it permutes in place (epoch N+1's
+        # permutation depends on epoch N's) -- restored in saved
+        # insertion order so finishing the remaining epochs writes a
+        # model bit-identical to the uninterrupted run.
+        start_epoch = 0
+        if checkpoint is not None and checkpoint.state is not None:
+            state = checkpoint.state
+            if state.get("kind") != "crf":
+                raise CheckpointMismatchError(
+                    f"checkpoint {checkpoint.path!r} holds "
+                    f"{state.get('kind')!r} trainer state, not 'crf'"
+                )
+            step = int(state["step"])
+            stats.updates = int(state["updates"])
+            stats.epochs = start_epoch = int(state["epochs_done"])
+            saved_rng = state["rng"]
+            rng.setstate((saved_rng[0], tuple(saved_rng[1]), saved_rng[2]))
+            order = [int(i) for i in state["order"]]
+            for l, r, o, w in state["pair_weights"]:
+                model.pair_weights[(l, r, o)] = w
+            for l, r, w in state["unary_weights"]:
+                model.unary_weights[(l, r)] = w
+            for l, r, o, v in state["pair_totals"]:
+                pair_totals[(l, r, o)] = v
+            for l, r, o, v in state["pair_stamp"]:
+                pair_stamp[(l, r, o)] = int(v)
+            for l, r, v in state["unary_totals"]:
+                unary_totals[(l, r)] = v
+            for l, r, v in state["unary_stamp"]:
+                unary_stamp[(l, r)] = int(v)
+
+        def snapshot(epochs_done: int) -> dict:
+            rng_state = rng.getstate()
+            return {
+                "kind": "crf",
+                "epochs_done": epochs_done,
+                "step": step,
+                "updates": stats.updates,
+                "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+                "order": list(order),
+                "pair_weights": [
+                    [k[0], k[1], k[2], w] for k, w in model.pair_weights.items()
+                ],
+                "unary_weights": [
+                    [k[0], k[1], w] for k, w in model.unary_weights.items()
+                ],
+                "pair_totals": [
+                    [k[0], k[1], k[2], v] for k, v in pair_totals.items()
+                ],
+                "pair_stamp": [
+                    [k[0], k[1], k[2], v] for k, v in pair_stamp.items()
+                ],
+                "unary_totals": [[k[0], k[1], v] for k, v in unary_totals.items()],
+                "unary_stamp": [[k[0], k[1], v] for k, v in unary_stamp.items()],
+            }
+
+        for epoch in range(start_epoch, cfg.epochs):
             if cfg.shuffle:
                 rng.shuffle(order)
             for graph_index in order:
@@ -135,6 +200,9 @@ class CrfTrainer:
             if cfg.weight_decay < 1.0:
                 model.l2_decay(cfg.weight_decay)
             stats.epochs += 1
+            if checkpoint is not None:
+                checkpoint.save_epoch(epoch + 1, snapshot(epoch + 1))
+            faults.fire("train.epoch")
 
         if cfg.average and step > 0:
             # Flush accumulators and replace weights with their averages.

@@ -19,6 +19,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...resilience import faults
+from ...resilience.checkpoint import CheckpointMismatchError, TrainerCheckpoint
 from .vocab import Vocabulary, build_vocabularies
 
 
@@ -133,6 +135,7 @@ class SgnsModel:
 def train_sgns(
     pairs: Iterable[Tuple[str, str]],
     config: Optional[SgnsConfig] = None,
+    checkpoint: Optional[TrainerCheckpoint] = None,
 ) -> Tuple[SgnsModel, SgnsStats]:
     """Train SGNS embeddings from raw (word, context) string pairs."""
     cfg = config or SgnsConfig()
@@ -162,7 +165,28 @@ def train_sgns(
     total_batches = cfg.epochs * max(1, int(np.ceil(len(encoded) / cfg.batch_size)))
     batch_counter = 0
 
-    for epoch in range(cfg.epochs):
+    # Resume: the checkpoint holds both matrices (float64 round-trips
+    # exactly through JSON) and the PCG64 bit-generator state, so the
+    # remaining epochs draw the same permutations and negative samples
+    # as the uninterrupted run -- bit-identical final embeddings.  The
+    # fresh init above is harmless; restore overwrites W, C and the RNG.
+    start_epoch = 0
+    if checkpoint is not None and checkpoint.state is not None:
+        state = checkpoint.state
+        if state.get("kind") != "sgns":
+            raise CheckpointMismatchError(
+                f"checkpoint {checkpoint.path!r} holds "
+                f"{state.get('kind')!r} trainer state, not 'sgns'"
+            )
+        start_epoch = stats.epochs = int(state["epochs_done"])
+        batch_counter = int(state["batch_counter"])
+        W = np.asarray(state["word_vectors"], dtype=np.float64).reshape(n_words, dim)
+        C = np.asarray(state["context_vectors"], dtype=np.float64).reshape(
+            n_contexts, dim
+        )
+        rng.bit_generator.state = state["rng"]
+
+    for epoch in range(start_epoch, cfg.epochs):
         perm = rng.permutation(len(encoded))
         for start in range(0, len(encoded), cfg.batch_size):
             batch = perm[start : start + cfg.batch_size]
@@ -203,6 +227,19 @@ def train_sgns(
             g_all = np.concatenate([grad_c_pos, grad_c_neg.reshape(-1, dim)])
             _mean_scatter_update(C, c_all, g_all, lr)
         stats.epochs += 1
+        if checkpoint is not None:
+            checkpoint.save_epoch(
+                epoch + 1,
+                {
+                    "kind": "sgns",
+                    "epochs_done": epoch + 1,
+                    "batch_counter": batch_counter,
+                    "rng": rng.bit_generator.state,
+                    "word_vectors": W.tolist(),
+                    "context_vectors": C.tolist(),
+                },
+            )
+        faults.fire("train.epoch")
 
     stats.train_seconds = time.perf_counter() - started
     return SgnsModel(words, contexts, W, C), stats

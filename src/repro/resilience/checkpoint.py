@@ -1,0 +1,147 @@
+"""Per-epoch trainer checkpoints bound to spec + corpus fingerprints.
+
+A :class:`TrainerCheckpoint` wraps one digest-stamped JSON file that a
+trainer rewrites atomically at every epoch boundary.  The file carries
+the serialized :class:`~repro.api.spec.RunSpec` and a fingerprint of
+the training corpus, so ``--resume`` refuses (with
+:class:`CheckpointMismatchError`) to continue a run against different
+data or a different spec -- the failure mode that silently produces a
+wrong model.
+
+The state payload is trainer-owned and opaque here; the contract is
+that restoring it and finishing the remaining epochs yields a saved
+model **bit-identical** to the uninterrupted run.  Both trainers keep
+that promise by checkpointing their full accumulator state including
+RNG internals (``random.Random.getstate`` for the CRF shuffle, the
+PCG64 bit-generator state for SGNS) -- see ``tests/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Any, Iterable, Optional
+
+from repro.resilience import faults
+from repro.resilience.atomicio import (
+    CorruptArtifactError,
+    read_stamped_json,
+    write_stamped_json,
+)
+
+CHECKPOINT_FORMAT = "pigeon-checkpoint/1"
+
+
+class CheckpointMismatchError(ValueError):
+    """A checkpoint does not match the run asked to resume from it."""
+
+
+def corpus_fingerprint(sources: Iterable[str]) -> str:
+    """Order-sensitive fingerprint of the training sources."""
+    digest = hashlib.blake2b(digest_size=16)
+    count = 0
+    for source in sources:
+        body = source.encode("utf-8")
+        digest.update(str(len(body)).encode("ascii"))
+        digest.update(b":")
+        digest.update(body)
+        count += 1
+    digest.update(f";n={count}".encode("ascii"))
+    return digest.hexdigest()
+
+
+def shards_fingerprint(shard_set: Any) -> str:
+    """Fingerprint a ShardSet by its ordered per-shard digests."""
+    digest = hashlib.blake2b(digest_size=16)
+    count = 0
+    for reader in shard_set:
+        digest.update(reader.digest.encode("ascii"))
+        digest.update(b";")
+        count += 1
+    digest.update(f"n={count}".encode("ascii"))
+    return digest.hexdigest()
+
+
+class TrainerCheckpoint:
+    """One atomic checkpoint file a trainer rewrites each epoch."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        spec: dict,
+        corpus: str,
+        epochs_done: int = 0,
+        state: Optional[dict] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.spec = spec
+        self.corpus = corpus
+        self.epochs_done = epochs_done
+        self.state = state
+
+    @classmethod
+    def fresh(cls, path: str, *, spec: dict, corpus: str) -> "TrainerCheckpoint":
+        return cls(path, spec=spec, corpus=corpus)
+
+    @classmethod
+    def resume(cls, path: str, *, spec: dict, corpus: str) -> "TrainerCheckpoint":
+        """Load an existing checkpoint, verifying it belongs to this run."""
+        payload = read_stamped_json(
+            path,
+            require_digest=True,
+            hint="delete the checkpoint and restart the run",
+        )
+        if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+            raise CorruptArtifactError(
+                os.fspath(path),
+                detail=(
+                    f"not a trainer checkpoint "
+                    f"(format {payload.get('format') if isinstance(payload, dict) else None!r}; "
+                    f"expected {CHECKPOINT_FORMAT!r})"
+                ),
+                hint="pass the file written by 'pigeon train --checkpoint'",
+            )
+        if payload["spec"] != spec:
+            raise CheckpointMismatchError(
+                f"checkpoint {os.fspath(path)!r} was written for a different run "
+                f"spec; resume with the original spec or delete the checkpoint"
+            )
+        if payload["corpus"] != corpus:
+            raise CheckpointMismatchError(
+                f"checkpoint {os.fspath(path)!r} was written against a different "
+                f"corpus (fingerprint {payload['corpus']}, this run {corpus}); "
+                f"resuming would silently train a wrong model"
+            )
+        return cls(
+            path,
+            spec=spec,
+            corpus=corpus,
+            epochs_done=int(payload["epochs_done"]),
+            state=payload["state"],
+        )
+
+    @classmethod
+    def open(
+        cls, path: str, *, spec: dict, corpus: str, resume: bool
+    ) -> "TrainerCheckpoint":
+        """Resume from ``path`` when asked and it exists, else start fresh."""
+        if resume and os.path.exists(path):
+            return cls.resume(path, spec=spec, corpus=corpus)
+        return cls.fresh(path, spec=spec, corpus=corpus)
+
+    def save_epoch(self, epochs_done: int, state: dict) -> None:
+        """Atomically persist trainer state at an epoch boundary."""
+        faults.fire("checkpoint.save")
+        write_stamped_json(
+            self.path,
+            {
+                "format": CHECKPOINT_FORMAT,
+                "spec": self.spec,
+                "corpus": self.corpus,
+                "epochs_done": epochs_done,
+                "state": state,
+            },
+        )
+        self.epochs_done = epochs_done
+        self.state = state

@@ -33,7 +33,23 @@ class ServingClient:
     restart, or a router has not yet bound) is retried ``retries`` times
     with exponential backoff plus jitter before surfacing -- so rolling
     restarts behind a fleet never appear to callers as crashes.
+
+    With ``retry_503=True`` a 503 response is also retried, sleeping the
+    server's ``Retry-After`` hint (capped at :data:`RETRY_AFTER_CAP_S`)
+    instead of the generic backoff -- the server knows when it expects
+    to have capacity again; guessing with exponential backoff either
+    hammers it early or idles long past recovery.  It is opt-in because
+    a 503 is a *correct answer* from a saturated server: load generators
+    and shedding tests need to observe it, not paper over it.
+
+    Every request carries an ``X-Request-Timeout-S`` header announcing
+    ``timeout_s``, so a fleet router can bound its retries-on-successor
+    to the budget this client is actually willing to wait.
     """
+
+    #: Upper bound on honoring a server's Retry-After hint -- a
+    #: misbehaving (or byte-flipped) header must not park a client.
+    RETRY_AFTER_CAP_S = 5.0
 
     def __init__(
         self,
@@ -41,6 +57,7 @@ class ServingClient:
         timeout_s: float = 60.0,
         retries: int = 1,
         retry_backoff_s: float = 0.1,
+        retry_503: bool = False,
     ) -> None:
         parsed = urlparse(url if "//" in url else f"http://{url}")
         if parsed.scheme not in ("", "http"):
@@ -52,6 +69,7 @@ class ServingClient:
         self.timeout_s = float(timeout_s)
         self.retries = max(0, int(retries))
         self.retry_backoff_s = max(0.0, float(retry_backoff_s))
+        self.retry_503 = bool(retry_503)
         self._connection = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
 
     # ------------------------------------------------------------------
@@ -71,7 +89,10 @@ class ServingClient:
         request may have partially executed, and only the caller knows
         whether re-sending is safe.
         """
-        send_headers = {"Content-Type": "application/json"}
+        send_headers = {
+            "Content-Type": "application/json",
+            "X-Request-Timeout-S": f"{self.timeout_s:g}",
+        }
         if headers:
             send_headers.update(headers)
         for attempt in range(self.retries + 1):
@@ -95,6 +116,11 @@ class ServingClient:
                 # fresh connection keeps the client usable.
                 self._connection.close()
                 raise
+            if response.status == 503 and self.retry_503 and attempt < self.retries:
+                if response.will_close:
+                    self._connection.close()
+                time.sleep(self._retry_delay(response.getheader("Retry-After"), attempt))
+                continue
             break
         if response.will_close:
             self._connection.close()
@@ -103,6 +129,23 @@ class ServingClient:
         except json.JSONDecodeError:
             payload = {"error": raw.decode("utf-8", "replace")}
         return response.status, payload
+
+    def _retry_delay(self, retry_after: Optional[str], attempt: int) -> float:
+        """How long to sleep before re-knocking after a 503.
+
+        The server's Retry-After hint wins (capped); absent or garbled
+        hints fall back to the same jittered exponential backoff the
+        connection-refused path uses.
+        """
+        if retry_after is not None:
+            try:
+                hint = float(retry_after)
+            except ValueError:
+                hint = -1.0
+            if hint >= 0:
+                return min(hint, self.RETRY_AFTER_CAP_S)
+        delay = self.retry_backoff_s * (2**attempt)
+        return delay + random.uniform(0, delay)
 
     def _json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         body = None if payload is None else json.dumps(payload).encode("utf-8")

@@ -25,6 +25,8 @@ import threading
 import time
 from typing import Dict, Optional, Tuple
 
+from ..resilience import faults
+from ..resilience.faults import FaultInjected
 from .batching import BatcherClosed, MicroBatcher
 from .cache import LruCache
 from .host import ModelHost, PredictRequest
@@ -173,18 +175,37 @@ class PredictionServer:
                     break
                 if request is None:
                     break
+                # Fault site "replica.accept": an injected fault drops the
+                # connection cold after the request was read -- the client
+                # sees a reset with no response, exactly the signature a
+                # replica dying mid-accept produces, which is what the
+                # router's failover path must absorb.
+                try:
+                    action = faults.fire("replica.accept")
+                except FaultInjected:
+                    action = "drop"
+                if action is not None:
+                    if action == "timeout":
+                        await asyncio.sleep(faults.TIMEOUT_SLEEP_S)
+                    break
                 self._requests += 1
                 self._active_requests += 1
                 started = time.perf_counter()
                 try:
-                    status, payload = await self._route(request)
+                    routed = await self._route(request)
+                    status, payload = routed[0], routed[1]
+                    headers = routed[2] if len(routed) > 2 else None
                     if status >= 400:
                         self._errors += 1
                     self._observe_latency(
                         request.path, time.perf_counter() - started
                     )
                     await respond(
-                        writer, status, payload, keep_alive=request.keep_alive
+                        writer,
+                        status,
+                        payload,
+                        keep_alive=request.keep_alive,
+                        extra_headers=headers,
                     )
                 finally:
                     self._active_requests -= 1
@@ -218,7 +239,10 @@ class PredictionServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    async def _route(self, request: _HttpRequest) -> Tuple[int, dict]:
+    async def _route(self, request: _HttpRequest) -> tuple:
+        # Routes return (status, payload) or (status, payload, headers);
+        # _handle_connection normalises, so only responses that carry
+        # extra headers (the Retry-After 503s) pay the third element.
         if request.path == "/predict":
             if request.method != "POST":
                 return 405, {"error": "use POST /predict"}
@@ -283,9 +307,29 @@ class PredictionServer:
     # ------------------------------------------------------------------
     # The /predict pipeline
     # ------------------------------------------------------------------
-    async def _predict(self, request: _HttpRequest) -> Tuple[int, dict]:
+    #: Retry-After hint on replica-side 503s: a draining replica is
+    #: restarting (or its successor is taking over) within tens of
+    #: milliseconds, so clients should re-knock quickly, not back off
+    #: for seconds.
+    RETRY_AFTER_S = "0.05"
+
+    def _unavailable(self, reason: str) -> tuple:
+        return 503, {"error": reason}, {"Retry-After": self.RETRY_AFTER_S}
+
+    async def _predict(self, request: _HttpRequest) -> tuple:
         if self._draining:
-            return 503, {"error": "server is draining; retry elsewhere"}
+            return self._unavailable("server is draining; retry elsewhere")
+        # Fault site "replica.respond": "unavail" answers 503 as if the
+        # replica were overloaded; "timeout" stalls the response past a
+        # caller's patience; "error" surfaces as a clean 500.
+        try:
+            action = faults.fire("replica.respond")
+        except FaultInjected as error:
+            return 500, {"error": f"injected fault: {error}"}
+        if action == "unavail":
+            return self._unavailable("injected unavailability; retry elsewhere")
+        if action == "timeout":
+            await asyncio.sleep(faults.TIMEOUT_SLEEP_S)
         try:
             payload = json.loads(request.body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -344,7 +388,7 @@ class PredictionServer:
             try:
                 result = await asyncio.shield(inflight)
             except asyncio.CancelledError:
-                return 503, {"error": "server is draining; retry elsewhere"}
+                return self._unavailable("server is draining; retry elsewhere")
             except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
                 return 500, {"error": f"scoring failed: {error}"}
             if "error" in result:
@@ -359,7 +403,7 @@ class PredictionServer:
             future.set_result(result)  # coalescers see failures too
         except BatcherClosed:
             future.cancel()
-            return 503, {"error": "server is draining; retry elsewhere"}
+            return self._unavailable("server is draining; retry elsewhere")
         except Exception as error:  # noqa: BLE001 - surfaced as HTTP 500
             future.set_exception(error)
             future.exception()  # consumed: the HTTP response carries it

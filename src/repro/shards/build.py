@@ -21,8 +21,10 @@ same shards sequentially -- byte-identical files either way.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -30,16 +32,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.extraction import ExtractionConfig, PathExtractor
 from ..core.interning import FeatureSpace
 from ..learning.crf.graph import CrfGraph
+from ..resilience.atomicio import (
+    fsync_directory,
+    read_stamped_json,
+    write_stamped_json,
+)
+from ..resilience.checkpoint import corpus_fingerprint
 from .format import (
+    _SET_KEYS,
     CONTEXTS_KIND,
     GRAPH_KIND,
     TRIPLES_KIND,
     ShardError,
+    ShardMismatchError,
+    ShardReader,
     ShardWriter,
 )
 
 #: File-name template for shard files (index-padded so listings sort).
 SHARD_NAME = "{prefix}-{index:05d}.shard.json"
+
+#: The build journal (``--resume`` provenance).  Deliberately does NOT
+#: match the ``*.shard.json`` glob, so an in-progress build directory
+#: still opens as a plain shard set once complete.
+JOURNAL_NAME = "shard-build.journal.json"
+JOURNAL_FORMAT = "pigeon-shard-journal/1"
 
 
 def plan_shards(n_files: int, shard_size: int) -> List[Tuple[int, int]]:
@@ -122,6 +139,9 @@ class ShardBuildResult:
     #: Set on partitioned builds: ("i/n", total shards in the full plan).
     partition: Optional[str] = None
     planned_shards: int = 0
+    #: Set on ``--resume`` builds: how many shards verified and skipped.
+    resumed: bool = False
+    skipped: int = 0
 
     @property
     def shards(self) -> int:
@@ -144,6 +164,8 @@ class ShardBuildResult:
         if self.partition is not None:
             report["partition"] = self.partition
             report["planned_shards"] = self.planned_shards
+        if self.resumed:
+            report["skipped"] = self.skipped
         return report
 
 
@@ -246,6 +268,7 @@ def build_spec_shards(
     workers: int = 1,
     prefix: str = "corpus",
     partition: Optional[Tuple[int, int]] = None,
+    resume: bool = False,
 ) -> ShardBuildResult:
     """Shard a corpus into training-ready view shards for one spec.
 
@@ -260,6 +283,12 @@ def build_spec_shards(
     contents stay exactly what a full build would produce, so n machines
     each building one partition and :func:`gather_shards` collecting the
     outputs yields a byte-identical shard set.
+
+    ``resume=True`` re-enters an interrupted build: the directory's
+    journal (written before any shard) is checked against this
+    invocation's corpus/spec/arguments, digest-verified completed shards
+    are skipped, and only missing or torn shards are rebuilt -- the
+    finished directory is byte-identical to a from-scratch build.
     """
     from ..api import Pipeline
     from ..api.protocols import GRAPH_VIEW
@@ -280,6 +309,22 @@ def build_spec_shards(
 
     os.makedirs(out_dir, exist_ok=True)
     started = time.perf_counter()
+    _prepare_journal(
+        out_dir,
+        {
+            "format": JOURNAL_FORMAT,
+            "kind": kind,
+            "language": spec.language,
+            "spec": spec.to_dict(),
+            "extraction": base_meta["extraction"],
+            "corpus": corpus_fingerprint(sources),
+            "files": len(sources),
+            "shard_size": shard_size,
+            "prefix": prefix,
+            "partition": None if partition is None else f"{partition[0]}/{partition[1]}",
+        },
+        resume,
+    )
     tasks = [
         (
             spec.to_dict(),
@@ -293,8 +338,24 @@ def build_spec_shards(
         for shard_index, (start, end) in enumerate(plan_shards(len(sources), shard_size))
     ]
     tasks, planned = _partition_tasks(tasks, partition, index_position=3)
+    skipped: List[dict] = []
+    if resume:
+        _clean_temp_files(out_dir)
+        tasks, skipped = _filter_completed(
+            tasks, base_meta, index_position=3, sources_position=1, path_position=4
+        )
     summaries, used_workers = _run_shard_tasks(_build_view_shard, tasks, workers)
-    return _collect(out_dir, summaries, started, used_workers, partition, planned)
+    result = _collect(
+        out_dir,
+        sorted(skipped + summaries, key=lambda s: s["path"]),
+        started,
+        used_workers,
+        partition,
+        planned,
+    )
+    result.resumed = resume
+    result.skipped = len(skipped)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -346,6 +407,7 @@ def build_triples_shards(
     workers: int = 1,
     prefix: str = "extract",
     partition: Optional[Tuple[int, int]] = None,
+    resume: bool = False,
 ) -> ShardBuildResult:
     """Shard raw extraction output (the service-level entry point)."""
     base_meta = {
@@ -356,6 +418,22 @@ def build_triples_shards(
     }
     os.makedirs(out_dir, exist_ok=True)
     started = time.perf_counter()
+    _prepare_journal(
+        out_dir,
+        {
+            "format": JOURNAL_FORMAT,
+            "kind": TRIPLES_KIND,
+            "language": language,
+            "spec": None,
+            "extraction": base_meta["extraction"],
+            "corpus": corpus_fingerprint(sources),
+            "files": len(sources),
+            "shard_size": shard_size,
+            "prefix": prefix,
+            "partition": None if partition is None else f"{partition[0]}/{partition[1]}",
+        },
+        resume,
+    )
     tasks = [
         (
             config,
@@ -369,8 +447,123 @@ def build_triples_shards(
         for shard_index, (start, end) in enumerate(plan_shards(len(sources), shard_size))
     ]
     tasks, planned = _partition_tasks(tasks, partition, index_position=4)
+    skipped: List[dict] = []
+    if resume:
+        _clean_temp_files(out_dir)
+        tasks, skipped = _filter_completed(
+            tasks, base_meta, index_position=4, sources_position=2, path_position=5
+        )
     summaries, used_workers = _run_shard_tasks(_build_triples_shard, tasks, workers)
-    return _collect(out_dir, summaries, started, used_workers, partition, planned)
+    result = _collect(
+        out_dir,
+        sorted(skipped + summaries, key=lambda s: s["path"]),
+        started,
+        used_workers,
+        partition,
+        planned,
+    )
+    result.resumed = resume
+    result.skipped = len(skipped)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Resume machinery (the build journal)
+# ----------------------------------------------------------------------
+
+
+def _prepare_journal(out_dir: str, payload: dict, resume: bool) -> str:
+    """Write (or, on resume, verify) the build journal for ``out_dir``.
+
+    The journal is written atomically *before any shard*, so a resumed
+    invocation can prove it describes the same build -- same corpus
+    fingerprint, spec, extraction, shard size and partition -- before
+    trusting any shard file it finds.  A disagreement raises
+    :class:`ShardMismatchError` naming the keys that changed.
+    """
+    path = os.path.join(out_dir, JOURNAL_NAME)
+    payload = json.loads(json.dumps(payload))  # normalise tuples etc.
+    if resume and os.path.exists(path):
+        recorded = read_stamped_json(
+            path,
+            require_digest=True,
+            hint="delete the journal (and the directory) to rebuild from scratch",
+        )
+        if recorded != payload:
+            changed = sorted(
+                key
+                for key in set(recorded) | set(payload)
+                if recorded.get(key) != payload.get(key)
+            )
+            raise ShardMismatchError(
+                f"cannot resume into {out_dir!r}: the build journal "
+                f"disagrees with this invocation on {', '.join(changed)}; "
+                f"re-run with the original arguments or rebuild from scratch"
+            )
+        return path
+    write_stamped_json(path, payload)
+    return path
+
+
+def _clean_temp_files(out_dir: str) -> None:
+    """Remove orphaned atomic-write temp files left by a killed build."""
+    for name in os.listdir(out_dir):
+        if name.startswith(".") and name.endswith(".tmp"):
+            try:
+                os.unlink(os.path.join(out_dir, name))
+            except OSError:
+                pass
+
+
+def _verify_completed_shard(
+    path: str, shard_index: int, expected_files: int, expected_meta: dict
+) -> Optional[dict]:
+    """A skip-summary for ``path`` if it is a complete, matching shard."""
+    if not os.path.exists(path):
+        return None
+    try:
+        reader = ShardReader(path)
+        if reader.shard_index != shard_index or reader.files != expected_files:
+            return None
+        for key in _SET_KEYS:
+            if reader.meta.get(key) != expected_meta.get(key):
+                return None
+        reader.verify()
+    except ShardError:
+        return None  # torn or foreign file -> rebuild it
+    return {
+        "path": path,
+        "files": reader.files,
+        "elements": int(reader.meta.get("elements", 0)),  # type: ignore[arg-type]
+        "paths": int(reader.meta.get("paths", 0)),  # type: ignore[arg-type]
+        "skipped": True,
+    }
+
+
+def _filter_completed(
+    tasks: List[tuple],
+    base_meta: dict,
+    *,
+    index_position: int,
+    sources_position: int,
+    path_position: int,
+) -> Tuple[List[tuple], List[dict]]:
+    """Partition tasks into (still to build, verified-complete summaries)."""
+    expected_meta = json.loads(json.dumps(base_meta))
+    remaining: List[tuple] = []
+    skipped: List[dict] = []
+    for task in tasks:
+        summary = _verify_completed_shard(
+            task[path_position],
+            task[index_position],
+            len(task[sources_position]),
+            expected_meta,
+        )
+        if summary is None:
+            remaining.append(task)
+        else:
+            skipped.append(summary)
+    return remaining, skipped
 
 
 # ----------------------------------------------------------------------
@@ -465,12 +658,18 @@ def gather_shards(partition_dirs: Sequence[str], out_dir: str) -> dict:
     validation proves the partitions are complete and compatible: shard
     indices form exactly ``0..n-1`` and every header agrees on
     kind/spec/extraction.  Returns the gathered set's summary.
+
+    The assembly is staged: shards are copied into a hidden staging
+    directory next to ``out_dir`` and validated *there*; only a set that
+    passes is renamed into place.  A failed gather (overlapping or
+    incomplete partitions, torn shards) removes the staging directory
+    and leaves no half-gathered store on disk.
     """
     from .format import ShardSet
 
     if not partition_dirs:
         raise ShardError("pass at least one partition directory to gather")
-    os.makedirs(out_dir, exist_ok=True)
+    out_dir = os.fspath(out_dir)
     gathered: Dict[str, str] = {}  # shard file name -> source partition dir
     for partition_dir in partition_dirs:
         if not os.path.isdir(partition_dir):
@@ -490,12 +689,28 @@ def gather_shards(partition_dirs: Sequence[str], out_dir: str) -> dict:
                     f"{partition_dir!r}; partitions must be disjoint"
                 )
             gathered[name] = partition_dir
-            source = os.path.join(partition_dir, name)
-            destination = os.path.join(out_dir, name)
-            if os.path.abspath(source) != os.path.abspath(destination):
-                shutil.copyfile(source, destination)
-    shard_set = ShardSet.open(out_dir)  # completeness + agreement checks
-    summary = shard_set.summary()
+    if os.path.isdir(out_dir) and os.listdir(out_dir):
+        raise ShardError(
+            f"gather output directory {out_dir!r} already exists and is "
+            f"not empty; remove it (or gather somewhere else) first"
+        )
+    parent = os.path.dirname(os.path.abspath(out_dir)) or "."
+    os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(prefix=".gather-", dir=parent)
+    try:
+        for name, partition_dir in sorted(gathered.items()):
+            shutil.copyfile(
+                os.path.join(partition_dir, name), os.path.join(staging, name)
+            )
+        shard_set = ShardSet.open(staging)  # completeness + agreement checks
+        summary = shard_set.summary()
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    if os.path.isdir(out_dir):
+        os.rmdir(out_dir)  # empty (checked above); replaced by the rename
+    os.rename(staging, out_dir)
+    fsync_directory(parent)
     summary["out_dir"] = out_dir
     summary["partitions"] = len(partition_dirs)
     return summary

@@ -41,6 +41,8 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 from ..core.interning import FeatureSpace
+from ..resilience import faults
+from ..resilience.atomicio import CorruptArtifactError, atomic_write_bytes
 
 #: On-disk format tag.  Bump when the header or payload layout changes;
 #: readers refuse other versions with a clear error.
@@ -61,8 +63,14 @@ class ShardFormatError(ShardError):
     """The file is not a shard, or was written by an unknown version."""
 
 
-class ShardIntegrityError(ShardError):
-    """The payload does not match the header's digest (truncated/corrupt)."""
+class ShardIntegrityError(ShardError, CorruptArtifactError):
+    """The payload does not match the header's digest (truncated/corrupt).
+
+    Also a :class:`~repro.resilience.atomicio.CorruptArtifactError`, so
+    callers that quarantine corrupt artifacts generically catch shard
+    corruption too (``ShardError`` adds no ``__init__``; construction
+    uses ``CorruptArtifactError``'s structured form).
+    """
 
 
 class ShardMismatchError(ShardError):
@@ -131,13 +139,19 @@ class ShardWriter:
             "digest": shard_digest(meta, payload_bytes),
             "meta": meta,
         }
-        # Binary mode: the digest pins the exact payload bytes, so no
-        # platform newline translation may touch them.
-        with open(self.path, "wb") as handle:
-            handle.write(json.dumps(header, separators=(",", ":")).encode("utf-8"))
-            handle.write(b"\n")
-            handle.write(payload_bytes)
-            handle.write(b"\n")
+        faults.fire("shard.write")
+        # One atomic binary write: the digest pins the exact payload
+        # bytes (no newline translation), and a crash mid-build leaves
+        # either no shard file or a complete, verifiable one.
+        data = b"".join(
+            (
+                json.dumps(header, separators=(",", ":")).encode("utf-8"),
+                b"\n",
+                payload_bytes,
+                b"\n",
+            )
+        )
+        atomic_write_bytes(self.path, data)
         return self.path
 
 
@@ -198,11 +212,16 @@ class ShardReader:
         payload_bytes = self._read_payload_bytes()
         actual = shard_digest(self.meta, payload_bytes)
         if actual != self.digest:
-            raise ShardIntegrityError(
-                f"{self.path!r} failed its integrity check "
-                f"(header digest {self.digest}, computed {actual}); "
-                f"the shard is truncated or corrupted -- rebuild it"
-            )
+            raise self._integrity_error(actual)
+
+    def _integrity_error(self, actual: str) -> ShardIntegrityError:
+        return ShardIntegrityError(
+            self.path,
+            expected=self.digest,
+            actual=actual,
+            hint="the shard is truncated or corrupted -- rebuild it with "
+            "'pigeon shard build'",
+        )
 
     def load(self) -> dict:
         """The verified, parsed payload ``{"space": ..., "records": [...]}``.
@@ -218,11 +237,7 @@ class ShardReader:
             if not self._verified:
                 actual = shard_digest(self.meta, payload_bytes)
                 if actual != self.digest:
-                    raise ShardIntegrityError(
-                        f"{self.path!r} failed its integrity check "
-                        f"(header digest {self.digest}, computed {actual}); "
-                        f"the shard is truncated or corrupted -- rebuild it"
-                    )
+                    raise self._integrity_error(actual)
                 self._verified = True
             self._payload = json.loads(payload_bytes)
         return self._payload

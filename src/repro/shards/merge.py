@@ -19,12 +19,13 @@ records in global-id form.
 
 from __future__ import annotations
 
-import json
+import os
 from array import array
 from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..core.interning import FeatureSpace
+from ..resilience.atomicio import read_stamped_json, stamped_json_bytes, atomic_write_bytes
 from .format import ShardFormatError, ShardMismatchError, ShardReader, ShardSet
 
 #: Format tag of a persisted merge manifest (``pigeon shard merge``).
@@ -118,8 +119,9 @@ def save_manifest(path: str, shards: ShardSet, merged: MergedSpace) -> None:
             for remap in merged.remaps
         ],
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    # Digest-stamped + atomic: manifests are rebuilt cheaply, but a torn
+    # one must never silently feed wrong remaps into training.
+    atomic_write_bytes(os.fspath(path), stamped_json_bytes(payload))
 
 
 def load_manifest(path: str, shards: "ShardSet" = None) -> MergedSpace:
@@ -131,8 +133,9 @@ def load_manifest(path: str, shards: "ShardSet" = None) -> MergedSpace:
     rebuilt or reshuffled shards (whose local vocabs -- and therefore
     remap tables -- could differ).
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+    payload = read_stamped_json(
+        path, hint="the manifest is torn -- re-run 'pigeon shard merge'"
+    )
     fmt = payload.get("format") if isinstance(payload, dict) else None
     if fmt != MERGE_FORMAT:
         raise ShardFormatError(

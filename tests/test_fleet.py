@@ -341,6 +341,53 @@ class TestReplicaSet:
         replica.mark_healthy()
         assert replica.failures == 0
 
+    def test_successful_probe_resets_strike_counter(self, model_path):
+        replicas = ReplicaSet.in_process([model_path], 1, cache_size=16)
+        replicas.start()
+        try:
+            replica = replicas.get("replica-0")
+            replica.mark_failure()
+            assert replica.state == HEALTHY and replica.failures == 1
+            # A good probe starts the count over: death takes two
+            # *consecutive* strikes, so sporadic blips spread across
+            # probe ticks never accumulate into a false DEAD.
+            assert replica.probe() == HEALTHY
+            assert replica.failures == 0
+            replica.mark_failure()
+            assert replica.state == HEALTHY
+        finally:
+            replicas.stop()
+
+    def test_flapping_replica_is_readmitted_to_ring_exactly_once(self):
+        flapper = AdoptedReplica("flapper", "http://127.0.0.1:1")
+        steady = AdoptedReplica("steady", "http://127.0.0.1:2")
+        steady.mark_healthy()
+        router = FleetRouter(ReplicaSet([flapper, steady]))
+        router._sync_ring()
+        assert router.ring.members == ["steady"]  # STARTING is not routable
+
+        # STARTING -> HEALTHY: admitted, arcs recorded.
+        flapper.mark_healthy()
+        router._sync_ring()
+        assert router.ring.members == ["flapper", "steady"]
+        original_points = list(router.ring._members["flapper"])
+
+        # HEALTHY -> DEAD: evicted, its key ranges fail over.
+        flapper.mark_failure()
+        flapper.mark_failure()
+        assert flapper.state == DEAD
+        router._sync_ring()
+        assert router.ring.members == ["steady"]
+
+        # DEAD -> HEALTHY again: re-admitted once, even across repeated
+        # syncs, with byte-for-byte the arcs it had before the flap --
+        # the failed-over keys flow straight back and nothing else moves.
+        flapper.mark_healthy()
+        router._sync_ring()
+        router._sync_ring()
+        assert router.ring.members == ["flapper", "steady"]
+        assert router.ring._members["flapper"] == original_points
+
 
 # ----------------------------------------------------------------------
 # The live fleet

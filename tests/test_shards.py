@@ -39,6 +39,11 @@ from repro.shards import (
 )
 
 
+def shard_names(directory):
+    """The directory's shard files (the build journal rides alongside)."""
+    return sorted(n for n in os.listdir(directory) if n.endswith(".shard.json"))
+
+
 @pytest.fixture(scope="module")
 def corpus_sources():
     kept, _removed = deduplicate(
@@ -73,7 +78,7 @@ class TestPlanShards:
 
 class TestShardFileFormat:
     def test_header_is_parsed_without_payload(self, shard_dir):
-        path = sorted(os.listdir(shard_dir))[0]
+        path = shard_names(shard_dir)[0]
         reader = ShardReader(os.path.join(shard_dir, path))
         assert reader.kind == "graph"
         assert reader.shard_index == 0
@@ -81,11 +86,11 @@ class TestShardFileFormat:
         assert not reader.loaded
 
     def test_verify_passes_on_intact_files(self, shard_dir):
-        for name in os.listdir(shard_dir):
+        for name in shard_names(shard_dir):
             ShardReader(os.path.join(shard_dir, name)).verify()
 
     def test_corrupted_payload_raises_clear_error(self, shard_dir, tmp_path):
-        source = os.path.join(shard_dir, sorted(os.listdir(shard_dir))[0])
+        source = os.path.join(shard_dir, shard_names(shard_dir)[0])
         target = tmp_path / "corrupt.shard.json"
         header, payload = open(source, "r", encoding="utf-8").read().split("\n", 1)
         # Flip one character inside the payload -- still valid JSON.
@@ -99,7 +104,7 @@ class TestShardFileFormat:
     def test_tampered_header_meta_raises(self, shard_dir, tmp_path):
         # The digest covers the header meta too: inflating the file count
         # (or swapping shard indices) must fail like payload corruption.
-        source = os.path.join(shard_dir, sorted(os.listdir(shard_dir))[0])
+        source = os.path.join(shard_dir, shard_names(shard_dir)[0])
         header, payload = open(source, "r", encoding="utf-8").read().split("\n", 1)
         doctored = json.loads(header)
         doctored["meta"]["files"] = 999
@@ -109,7 +114,7 @@ class TestShardFileFormat:
             ShardReader(str(target)).verify()
 
     def test_truncated_payload_raises(self, shard_dir, tmp_path):
-        source = os.path.join(shard_dir, sorted(os.listdir(shard_dir))[0])
+        source = os.path.join(shard_dir, shard_names(shard_dir)[0])
         data = open(source, "rb").read()
         target = tmp_path / "truncated.shard.json"
         target.write_bytes(data[: int(len(data) * 0.8)])
@@ -151,21 +156,17 @@ class TestShardSet:
 
         shard_set = ShardSet.open(Path(shard_dir))
         assert shard_set.files > 0
-        listed = [Path(shard_dir) / name for name in sorted(os.listdir(shard_dir))]
+        listed = [Path(shard_dir) / name for name in shard_names(shard_dir)]
         assert ShardSet.open(listed).files == shard_set.files
 
     def test_shuffled_path_order_is_normalised(self, shard_dir):
-        paths = sorted(
-            os.path.join(shard_dir, name) for name in os.listdir(shard_dir)
-        )
+        paths = [os.path.join(shard_dir, name) for name in shard_names(shard_dir)]
         shuffled = ShardSet.open(list(reversed(paths)))
         ordered = ShardSet.open(paths)
         assert [r.path for r in shuffled] == [r.path for r in ordered]
 
     def test_missing_shard_raises(self, shard_dir):
-        paths = sorted(
-            os.path.join(shard_dir, name) for name in os.listdir(shard_dir)
-        )
+        paths = [os.path.join(shard_dir, name) for name in shard_names(shard_dir)]
         assert len(paths) >= 3
         with pytest.raises(ShardMismatchError, match="missing shards"):
             ShardSet([ShardReader(p) for p in (paths[0], paths[2])])
@@ -174,8 +175,8 @@ class TestShardSet:
         other = RunSpec(language="javascript", extraction={"max_length": 4})
         build_spec_shards(other, corpus_sources[:6], str(tmp_path), shard_size=6)
         mixed = [
-            os.path.join(shard_dir, sorted(os.listdir(shard_dir))[1]),
-            os.path.join(str(tmp_path), os.listdir(str(tmp_path))[0]),
+            os.path.join(shard_dir, shard_names(shard_dir)[1]),
+            os.path.join(str(tmp_path), shard_names(str(tmp_path))[0]),
         ]
         with pytest.raises(ShardMismatchError, match="disagrees"):
             ShardSet.open(mixed)
@@ -214,14 +215,14 @@ class TestPartitionedBuild:
                 partition=(index, 3),
             )
             assert result.partition == f"{index}/3"
-            assert result.planned_shards == len(os.listdir(shard_dir))
+            assert result.planned_shards == len(shard_names(shard_dir))
             assert result.summary()["partition"] == f"{index}/3"
             partitions.append(str(out))
         gathered = tmp_path / "gathered"
         summary = gather_shards(partitions, str(gathered))
         assert summary["partitions"] == 3
-        full_names = sorted(os.listdir(shard_dir))
-        assert sorted(os.listdir(str(gathered))) == full_names
+        full_names = shard_names(shard_dir)
+        assert shard_names(str(gathered)) == full_names
         assert summary["shards"] == len(full_names)
         for name in full_names:
             with open(os.path.join(shard_dir, name), "rb") as full:
@@ -269,9 +270,80 @@ class TestPartitionedBuild:
             parts.append(str(out))
         gathered = tmp_path / "g"
         gather_shards(parts, str(gathered))
-        for name in sorted(os.listdir(str(full))):
+        for name in shard_names(str(full)):
             with open(str(full / name), "rb") as a, open(str(gathered / name), "rb") as b:
                 assert a.read() == b.read()
+
+    def test_gather_rejects_nonempty_output_directory(self, shard_dir, tmp_path):
+        out = tmp_path / "occupied"
+        out.mkdir()
+        (out / "precious.txt").write_text("do not clobber")
+        with pytest.raises(ShardError, match="not empty"):
+            gather_shards([shard_dir], str(out))
+        assert (out / "precious.txt").read_text() == "do not clobber"
+
+    def test_failed_gather_leaves_no_output(
+        self, crf_spec, corpus_sources, tmp_path
+    ):
+        only = tmp_path / "p1"
+        build_spec_shards(
+            crf_spec, corpus_sources, str(only), shard_size=6, partition=(1, 2)
+        )
+        out = tmp_path / "gathered"
+        with pytest.raises(ShardMismatchError, match="missing shards"):
+            gather_shards([str(only)], str(out))
+        # Validation failed after staging: the staging directory was
+        # removed and the output path never appeared -- a failed gather
+        # is indistinguishable from one that never ran.
+        assert not out.exists()
+        assert not [n for n in os.listdir(tmp_path) if n.startswith(".gather-")]
+
+
+class TestBuildResume:
+    def test_resume_skips_verified_and_rebuilds_missing(
+        self, crf_spec, corpus_sources, tmp_path
+    ):
+        out = str(tmp_path / "build")
+        first = build_spec_shards(crf_spec, corpus_sources, out, shard_size=6)
+        assert first.resumed is False
+        originals = {
+            name: open(os.path.join(out, name), "rb").read()
+            for name in shard_names(out)
+        }
+
+        # Nothing to do: every shard verifies, every shard is skipped.
+        complete = build_spec_shards(
+            crf_spec, corpus_sources, out, shard_size=6, resume=True
+        )
+        assert complete.resumed is True
+        assert complete.skipped == first.shards
+        assert "skipped" in complete.summary()
+
+        # Delete one shard (the crash-mid-build shape): resume rebuilds
+        # exactly that shard, byte-identical, and skips the rest.
+        victim = shard_names(out)[1]
+        os.unlink(os.path.join(out, victim))
+        repaired = build_spec_shards(
+            crf_spec, corpus_sources, out, shard_size=6, resume=True
+        )
+        assert repaired.resumed is True
+        assert repaired.skipped == first.shards - 1
+        for name, body in originals.items():
+            assert open(os.path.join(out, name), "rb").read() == body
+
+    def test_resume_refuses_a_different_invocation(
+        self, crf_spec, corpus_sources, tmp_path
+    ):
+        out = str(tmp_path / "build")
+        build_spec_shards(crf_spec, corpus_sources, out, shard_size=6)
+        with pytest.raises(ShardMismatchError, match="journal disagrees"):
+            build_spec_shards(
+                crf_spec, corpus_sources, out, shard_size=4, resume=True
+            )
+        with pytest.raises(ShardMismatchError, match="journal disagrees"):
+            build_spec_shards(
+                crf_spec, corpus_sources[:6], out, shard_size=6, resume=True
+            )
 
 
 class TestDeterministicBuild:
@@ -291,9 +363,7 @@ class TestDeterministicBuild:
             assert open(a, "rb").read() == open(b, "rb").read()
 
     def test_merge_ignores_discovery_order(self, shard_dir):
-        paths = sorted(
-            os.path.join(shard_dir, name) for name in os.listdir(shard_dir)
-        )
+        paths = [os.path.join(shard_dir, name) for name in shard_names(shard_dir)]
         forward = merge_shards(paths)
         backward = merge_shards(list(reversed(paths)))
         assert forward.space.to_dict() == backward.space.to_dict()
