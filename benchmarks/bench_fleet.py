@@ -49,7 +49,10 @@ CACHE_PER_SERVER = 20
 #: Unique working set: bigger than one cache, smaller than REPLICAS of them.
 UNIQUE_SOURCES = 48
 #: Every unique source appears this many times in the shuffled mix.
-DUPLICATION = 5
+#: High enough that the fleet's compulsory first-touch misses wash out
+#: (its partitions fit, so steady state is all hits) while the lone
+#: server keeps thrashing at the same eviction-bound hit rate.
+DUPLICATION = 10
 CLIENT_THREADS = 6
 
 
@@ -65,15 +68,27 @@ def _train_model(tmp_dir):
     return path, sources[20:]
 
 
-def _unique_workload(held_out):
-    """``UNIQUE_SOURCES`` structurally distinct programs of corpus weight.
+#: Held-out files concatenated per workload entry.  Module-weight
+#: requests keep a cache miss expensive relative to a hit now that the
+#: compiled inference core scores file-sized programs in well under a
+#: millisecond -- the gate below measures cache-capacity partitioning,
+#: so the working set has to cost something to recompute.
+FILES_PER_SOURCE = 3
 
-    Held-out corpus files are cycled, each padded with one unique tiny
-    function so every entry has its own structural digest (and so its
-    own cache key and ring position).
+
+def _unique_workload(held_out):
+    """``UNIQUE_SOURCES`` structurally distinct programs of module weight.
+
+    Held-out corpus files are cycled in overlapping windows of
+    ``FILES_PER_SOURCE``, each padded with one unique tiny function so
+    every entry has its own structural digest (and so its own cache key
+    and ring position).
     """
     return [
-        held_out[i % len(held_out)]
+        "\n\n".join(
+            held_out[(i + offset) % len(held_out)]
+            for offset in range(FILES_PER_SOURCE)
+        )
         + f"\nfunction bfPad{i}(bfArg{i}) {{ return bfArg{i} + {i}; }}\n"
         for i in range(UNIQUE_SOURCES)
     ]

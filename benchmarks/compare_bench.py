@@ -43,6 +43,11 @@ TRACKED: Dict[str, List[str]] = {
         "module.extract_speedup",
         "module.graph_speedup",
     ],
+    "BENCH_inference.json": [
+        "file.map_nodes_per_second_compiled",
+        "module.map_nodes_per_second_compiled",
+        "module.map_speedup",
+    ],
     "BENCH_serving.json": [
         "sequential.requests_per_second",
         "server_duplicated.requests_per_second",

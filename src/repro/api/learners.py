@@ -49,9 +49,22 @@ class _LearnerBase:
             raise RuntimeError("call train() before predict()")
 
 
+#: Valid values for :attr:`CrfLearner.engine`.
+CRF_ENGINES = ("compiled", "scalar")
+
+
 @learners.register("crf")
 class CrfLearner(_LearnerBase):
-    """The structured CRF learner over factor graphs."""
+    """The structured CRF learner over factor graphs.
+
+    Inference runs on one of two engines (see
+    :mod:`repro.learning.crf.inference`): ``compiled`` -- the vectorised
+    default, which freezes the trained weights into a
+    :class:`~repro.learning.crf.compiled.CompiledCrfModel` once and
+    reuses the pack across predictions -- or ``scalar``, the dict-lookup
+    oracle.  Both produce bit-identical predictions; flip
+    :attr:`engine` (or pass ``pigeon predict --engine``) to cross-check.
+    """
 
     name = "crf"
     consumes = GRAPH_VIEW
@@ -60,6 +73,8 @@ class CrfLearner(_LearnerBase):
         overrides = dict(spec.training) if spec is not None else {}
         self.config = TrainingConfig(**overrides)
         self.model: Optional[CrfModel] = None
+        self.engine: str = "compiled"
+        self._compiled = None
 
     @property
     def trained(self) -> bool:
@@ -69,6 +84,24 @@ class CrfLearner(_LearnerBase):
     def space(self) -> Optional[FeatureSpace]:
         """The trained model's feature space (None before training)."""
         return self.model.space if self.model is not None else None
+
+    def _scorer(self):
+        """The active inference engine (compiling lazily on first use)."""
+        if self.engine not in CRF_ENGINES:
+            raise ValueError(
+                f"unknown inference engine {self.engine!r}; "
+                f"expected one of {CRF_ENGINES}"
+            )
+        if self.engine == "scalar":
+            return self.model
+        if self._compiled is None or self._compiled.model is not self.model:
+            self._compiled = self.model.compile()
+        return self._compiled
+
+    def ensure_compiled(self) -> None:
+        """Eagerly build the scoring pack (freeze time, serving path)."""
+        if self.trained and self.engine == "compiled":
+            self._scorer()
 
     def fit(self, views: Iterable[CrfGraph], checkpoint=None) -> LearnerStats:
         # Anything sequence-shaped (a list of graphs, or a streaming
@@ -80,18 +113,20 @@ class CrfLearner(_LearnerBase):
             graphs = list(views)
         model, stats = CrfTrainer(self.config).train(graphs, checkpoint=checkpoint)
         self.model = model
+        self._compiled = None
         return LearnerStats(parameters=stats.parameters, train_seconds=stats.train_seconds)
 
     def predict(self, view: CrfGraph) -> Dict[str, str]:
         self._require_trained()
-        assignment = map_inference(self.model, view)
+        assignment = map_inference(self._scorer(), view)
         return {node.key: assignment[i] for i, node in enumerate(view.unknowns)}
 
     def suggest(self, view: CrfGraph, k: int = 5) -> Dict[str, List[Tuple[str, float]]]:
         self._require_trained()
-        assignment = map_inference(self.model, view)
+        scorer = self._scorer()
+        assignment = map_inference(scorer, view)
         return {
-            node.key: topk_for_node(self.model, view, i, k=k, assignment=assignment)
+            node.key: topk_for_node(scorer, view, i, k=k, assignment=assignment)
             for i, node in enumerate(view.unknowns)
         }
 
@@ -101,6 +136,7 @@ class CrfLearner(_LearnerBase):
 
     def load_state(self, state: dict) -> None:
         self.model = CrfModel.from_dict(state["model"])
+        self._compiled = None
 
 
 @learners.register("word2vec")

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ...core.interning import DEFAULT_SPACE, FeatureSpace
 
 #: A relation or neighbour label as callers may pass it: an interned id
@@ -56,6 +58,44 @@ class UnknownEdge:
 
     rel: int
     other: int
+
+
+@dataclass(frozen=True)
+class ColumnarGraph:
+    """Structure-of-arrays view of a :class:`CrfGraph`'s factors.
+
+    Every per-node python list of dataclass factors is re-laid as flat
+    ``int64`` arrays with CSR-style ``*_off`` offset arrays (length
+    ``n_nodes + 1``): node ``i``'s known factors live at
+    ``known_rel[known_off[i]:known_off[i+1]]`` (parallel with
+    ``known_label``), and likewise for edges and unary factors.  The
+    vectorised inference engine walks these arrays instead of python
+    tuples -- one contiguous gather per node instead of one attribute
+    lookup per factor -- and :class:`~repro.learning.crf.compiled.
+    CompiledCrfModel` resolves them against its packed weight rows.
+
+    The view is immutable and model-independent; :meth:`CrfGraph.columnar`
+    caches it per graph until another factor is added.
+    """
+
+    n_nodes: int
+    known_rel: np.ndarray
+    known_label: np.ndarray
+    known_off: np.ndarray
+    edge_rel: np.ndarray
+    edge_other: np.ndarray
+    edge_off: np.ndarray
+    unary_rel: np.ndarray
+    unary_off: np.ndarray
+    #: Plain-int copies of the factor columns (``ndarray.tolist()``), kept
+    #: because the compiled model resolves group rows through python dict
+    #: lookups and iterating a list of ints is ~3x faster than iterating
+    #: numpy scalars.
+    known_rel_list: List[int]
+    known_label_list: List[int]
+    edge_rel_list: List[int]
+    edge_other_list: List[int]
+    unary_rel_list: List[int]
 
 
 @dataclass
@@ -91,6 +131,11 @@ class CrfGraph:
         self.space = space if space is not None else DEFAULT_SPACE
         self.unknowns: List[UnknownNode] = []
         self._key_to_index: Dict[str, int] = {}
+        #: Bumped on every structural mutation; invalidates the cached
+        #: columnar view (factor lists may also be appended to directly
+        #: by task builders -- those run before the first columnar() call).
+        self._version = 0
+        self._columnar: Optional[Tuple[int, "ColumnarGraph"]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -102,6 +147,7 @@ class CrfGraph:
         index = len(self.unknowns)
         self.unknowns.append(UnknownNode(gold=gold, key=key))
         self._key_to_index[key] = index
+        self._version += 1
         return index
 
     def index_of(self, key: str) -> Optional[int]:
@@ -119,6 +165,7 @@ class CrfGraph:
         self.unknowns[index].known.append(
             KnownNeighbor(self.rel_id(rel), self.value_id(label))
         )
+        self._version += 1
 
     def add_unknown_factor(
         self, a: int, b: int, rel: Feature, rel_reverse: Feature
@@ -128,9 +175,64 @@ class CrfGraph:
             raise ValueError("use add_unary_factor for self relations")
         self.unknowns[a].edges.append(UnknownEdge(self.rel_id(rel), b))
         self.unknowns[b].edges.append(UnknownEdge(self.rel_id(rel_reverse), a))
+        self._version += 1
 
     def add_unary_factor(self, index: int, rel: Feature) -> None:
         self.unknowns[index].unary.append(self.rel_id(rel))
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Columnar view
+    # ------------------------------------------------------------------
+    def columnar(self) -> ColumnarGraph:
+        """The structure-of-arrays view of this graph's factors.
+
+        Built once and cached; any later ``add_*`` call invalidates the
+        cache.  (Builders that extend the per-node factor lists directly
+        -- the shard decoder -- finish before the first ``columnar()``
+        call, so the snapshot always sees the complete graph.)
+        """
+        cached = self._columnar
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        n = len(self.unknowns)
+        known_rel: List[int] = []
+        known_label: List[int] = []
+        known_off = np.zeros(n + 1, dtype=np.int64)
+        edge_rel: List[int] = []
+        edge_other: List[int] = []
+        edge_off = np.zeros(n + 1, dtype=np.int64)
+        unary_rel: List[int] = []
+        unary_off = np.zeros(n + 1, dtype=np.int64)
+        for i, node in enumerate(self.unknowns):
+            for factor in node.known:
+                known_rel.append(factor.rel)
+                known_label.append(factor.label)
+            for edge in node.edges:
+                edge_rel.append(edge.rel)
+                edge_other.append(edge.other)
+            unary_rel.extend(node.unary)
+            known_off[i + 1] = len(known_rel)
+            edge_off[i + 1] = len(edge_rel)
+            unary_off[i + 1] = len(unary_rel)
+        view = ColumnarGraph(
+            n_nodes=n,
+            known_rel=np.asarray(known_rel, dtype=np.int64),
+            known_label=np.asarray(known_label, dtype=np.int64),
+            known_off=known_off,
+            edge_rel=np.asarray(edge_rel, dtype=np.int64),
+            edge_other=np.asarray(edge_other, dtype=np.int64),
+            edge_off=edge_off,
+            unary_rel=np.asarray(unary_rel, dtype=np.int64),
+            unary_off=unary_off,
+            known_rel_list=known_rel,
+            known_label_list=known_label,
+            edge_rel_list=edge_rel,
+            edge_other_list=edge_other,
+            unary_rel_list=unary_rel,
+        )
+        self._columnar = (self._version, view)
+        return view
 
     # ------------------------------------------------------------------
     # Queries

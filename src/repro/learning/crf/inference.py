@@ -9,21 +9,44 @@ family of greedy candidate-swap inference Nice2Predict uses.
 ``topk_for_node`` implements the paper's top-k extension (Sec. 5.1,
 adopted into Nice2Predict): conditioned on the MAP assignment of the rest
 of the graph, rank the candidate labels of one node.
+
+Two engines implement the same contract:
+
+* the **scalar** path (``model.node_score`` per candidate) -- the
+  bit-identity oracle, kept deliberately simple;
+* the **compiled** path, taken whenever the model argument is a
+  :class:`~repro.learning.crf.compiled.CompiledCrfModel` -- ids
+  end-to-end (labels decode only at the return boundary), whole beams
+  scored per numpy call, and nodes whose neighbourhood has not changed
+  since they were last scored skipped outright (their candidates and
+  best label are pure functions of the neighbour ids, so skipping is
+  exact, not approximate).
+
+Both engines must produce bit-identical assignments, tie-breaks
+included; ``tests/test_crf_compiled.py`` holds the oracle suite.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from .compiled import CompiledCrfModel
 from .graph import CrfGraph
 from .model import CrfModel
 
-#: Label used to initialise nodes before the first sweep.
+#: Label used to initialise nodes before the first sweep, and the
+#: explicit fallback candidate when a node's beam comes back empty.
 UNKNOWN_LABEL = "?"
+
+#: Either engine; the compiled one wraps (and defers candidates to) a
+#: :class:`CrfModel`.
+ScoringModel = Union[CrfModel, CompiledCrfModel]
 
 
 def map_inference(
-    model: CrfModel,
+    model: ScoringModel,
     graph: CrfGraph,
     max_sweeps: int = 8,
     beam: int = 48,
@@ -38,6 +61,10 @@ def map_inference(
     """
     if loss_augmented and gold is None:
         raise ValueError("loss-augmented inference requires the gold assignment")
+    if isinstance(model, CompiledCrfModel):
+        return _map_inference_compiled(
+            model, graph, max_sweeps, beam, loss_augmented, gold
+        )
 
     assignment: List[str] = [UNKNOWN_LABEL] * len(graph)
     candidate_cache: List[List[str]] = [[] for _ in range(len(graph))]
@@ -86,9 +113,14 @@ def _best_label(
     gold: Optional[Sequence[str]],
 ) -> str:
     node = graph.unknowns[index]
-    best_label = assignment[index]
+    if not candidates:
+        # Explicit empty-beam fallback: score the unknown sentinel (an
+        # unseen label scores exactly 0.0) rather than keeping whatever
+        # the assignment happened to hold.  Both engines share this rule.
+        candidates = (UNKNOWN_LABEL,)
+    best_label = candidates[0]
     best_score = float("-inf")
-    for label in candidates or (UNKNOWN_LABEL,):
+    for label in candidates:
         score = model.node_score(node, label, assignment)
         if loss_augmented and gold is not None and label != gold[index]:
             score += 1.0
@@ -98,8 +130,128 @@ def _best_label(
     return best_label
 
 
+# ----------------------------------------------------------------------
+# Compiled engine
+# ----------------------------------------------------------------------
+def _map_inference_compiled(
+    compiled: CompiledCrfModel,
+    graph: CrfGraph,
+    max_sweeps: int,
+    beam: int,
+    loss_augmented: bool,
+    gold: Optional[Sequence[str]],
+) -> List[str]:
+    """ICM on id arrays; bit-identical to the scalar sweep above."""
+    n = len(graph)
+    if n == 0:
+        return []
+    model = compiled.model
+    values = model.space.values
+    cg = compiled.compile_graph(graph)
+    cols = cg.cols
+
+    # The id of the initialisation sentinel: the interned id when "?" is
+    # a real (trained) label, else -1 -- which scores 0.0 and reads as
+    # "unseen" to the candidate index, exactly like the string path.
+    unknown_id = values.id_of(UNKNOWN_LABEL)
+    fill = unknown_id if unknown_id is not None else -1
+    assignment = np.full(n, fill, dtype=np.int64)
+    # Plain-int shadow of the assignment for the candidate index (python
+    # dict lookups hash plain ints faster than numpy scalars).
+    assignment_list: List[int] = [fill] * n
+
+    gold_ids: Optional[List[int]] = None
+    if loss_augmented:
+        assert gold is not None
+        gold_ids = []
+        for label in gold:
+            gid = values.id_of(label)
+            if gid is None:
+                # Unseen gold: "?" must compare equal to the fallback
+                # sentinel; any other unseen string can match no candidate.
+                gid = fill if label == UNKNOWN_LABEL else -2
+            gold_ids.append(gid)
+
+    candidate_cache: List[List[int]] = [[] for _ in range(n)]
+    # Last-scored neighbour snapshot per node; a node whose snapshot is
+    # unchanged would merge identical candidates and pick the identical
+    # best label, so the sweep skips it.
+    last_key: List[Optional[Tuple[int, ...]]] = [None] * n
+    edge_off = cg.edge_off
+    edge_other = cols.edge_other
+
+    def neighbor_key(i: int) -> Tuple[int, ...]:
+        start, end = edge_off[i], edge_off[i + 1]
+        if end == start:
+            return ()
+        return tuple(assignment[edge_other[start:end]].tolist())
+
+    known_off, unary_off = cg.known_off, cg.unary_off
+    order = sorted(
+        range(n),
+        key=lambda i: -(
+            known_off[i + 1] - known_off[i] + unary_off[i + 1] - unary_off[i]
+        ),
+    )
+    for i in order:
+        node = graph.unknowns[i]
+        candidates = model.candidate_ids_for(node, assignment_list, beam=beam)
+        candidate_cache[i] = candidates
+        best = _best_id(
+            compiled, cg, i, candidates, assignment, loss_augmented, gold_ids, fill
+        )
+        assignment[i] = best
+        assignment_list[i] = best
+        last_key[i] = neighbor_key(i)
+
+    for _ in range(max_sweeps):
+        changed = False
+        for i in range(n):
+            key = neighbor_key(i)
+            if key == last_key[i]:
+                continue
+            node = graph.unknowns[i]
+            candidates = model.candidate_ids_for(node, assignment_list, beam=beam)
+            merged = list(dict.fromkeys(candidate_cache[i] + candidates))[:beam]
+            candidate_cache[i] = merged
+            best = _best_id(
+                compiled, cg, i, merged, assignment, loss_augmented, gold_ids, fill
+            )
+            last_key[i] = key
+            if best != assignment[i]:
+                assignment[i] = best
+                assignment_list[i] = best
+                changed = True
+        if not changed:
+            break
+    return [
+        values.value(label_id) if label_id >= 0 else UNKNOWN_LABEL
+        for label_id in assignment.tolist()
+    ]
+
+
+def _best_id(
+    compiled: CompiledCrfModel,
+    cg,
+    index: int,
+    candidate_ids: Sequence[int],
+    assignment: np.ndarray,
+    loss_augmented: bool,
+    gold_ids: Optional[List[int]],
+    fill: int,
+) -> int:
+    if not candidate_ids:
+        candidate_ids = [fill]  # same explicit fallback as _best_label
+    candidates = np.asarray(candidate_ids, dtype=np.int64)
+    scores = compiled.score_candidates(cg, index, candidates, assignment)
+    if loss_augmented:
+        assert gold_ids is not None
+        scores = scores + np.where(candidates != gold_ids[index], 1.0, 0.0)
+    return int(candidates[int(np.argmax(scores))])
+
+
 def topk_for_node(
-    model: CrfModel,
+    model: ScoringModel,
     graph: CrfGraph,
     index: int,
     k: int = 8,
@@ -114,6 +266,8 @@ def topk_for_node(
     """
     if assignment is None:
         assignment = map_inference(model, graph)
+    if isinstance(model, CompiledCrfModel):
+        return _topk_compiled(model, graph, index, k, assignment, beam)
     node = graph.unknowns[index]
     candidates = model.candidates_for(node, assignment, beam=beam)
     scored = [
@@ -123,6 +277,40 @@ def topk_for_node(
     return scored[:k]
 
 
-def predict(model: CrfModel, graph: CrfGraph) -> List[str]:
+def _topk_compiled(
+    compiled: CompiledCrfModel,
+    graph: CrfGraph,
+    index: int,
+    k: int,
+    assignment: Sequence[str],
+    beam: int,
+) -> List[Tuple[str, float]]:
+    model = compiled.model
+    values = model.space.values
+    cg = compiled.compile_graph(graph)
+    ids = np.fromiter(
+        (
+            -1 if (lid := values.id_of(label)) is None else lid
+            for label in assignment
+        ),
+        dtype=np.int64,
+        count=len(assignment),
+    )
+    candidate_ids = model.candidate_ids_for(
+        graph.unknowns[index], ids.tolist(), beam=beam
+    )
+    if not candidate_ids:
+        return []
+    candidates = np.asarray(candidate_ids, dtype=np.int64)
+    scores = compiled.score_candidates(cg, index, candidates, ids)
+    scored = [
+        (values.value(label_id), score)
+        for label_id, score in zip(candidate_ids, scores.tolist())
+    ]
+    scored.sort(key=lambda kv: (-kv[1], kv[0]))
+    return scored[:k]
+
+
+def predict(model: ScoringModel, graph: CrfGraph) -> List[str]:
     """Convenience wrapper: the MAP assignment."""
     return map_inference(model, graph)

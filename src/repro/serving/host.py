@@ -51,13 +51,19 @@ class PredictRequest:
 class ModelHost:
     """Load saved pipelines once; route and score prediction requests."""
 
-    def __init__(self, model_paths: Sequence[str], workers: int = 0) -> None:
+    def __init__(
+        self,
+        model_paths: Sequence[str],
+        workers: int = 0,
+        engine: Optional[str] = None,
+    ) -> None:
         if not model_paths:
             raise ValueError("ModelHost needs at least one saved model file")
         self.model_paths: List[str] = list(model_paths)
+        self.engine = engine
         self.handles: Dict[Tuple[str, str], ScoringHandle] = {}
         for path in self.model_paths:
-            handle = Pipeline.load(path).scoring_handle()
+            handle = _load_handle(path, engine)
             key = (handle.spec.language, handle.spec.task)
             if key in self.handles:
                 raise ValueError(
@@ -108,7 +114,7 @@ class ModelHost:
             executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(tuple(self.model_paths),),
+                initargs=(tuple(self.model_paths), self.engine),
             )
             # Pre-warm: force every worker to fork/spawn and finish
             # loading its models *now*, so the first real request never
@@ -188,13 +194,30 @@ def score_one(handle: ScoringHandle, request: PredictRequest) -> dict:
     }
 
 
+def _load_handle(path: str, engine: Optional[str]) -> ScoringHandle:
+    """Load one model, pin its inference engine, freeze into a handle."""
+    if engine is not None and engine not in ("compiled", "scalar"):
+        raise ValueError(
+            f"unknown inference engine {engine!r}; expected 'compiled' or 'scalar'"
+        )
+    pipeline = Pipeline.load(path)
+    if engine is not None:
+        if not hasattr(pipeline.learner, "engine"):
+            raise ValueError(
+                f"engine={engine!r} applies to CRF models, but {path!r} "
+                f"holds a {pipeline.spec.learner!r} learner"
+            )
+        pipeline.learner.engine = engine
+    return pipeline.scoring_handle()
+
+
 #: Per-worker-process state: (language, task) -> ScoringHandle.
 _WORKER_HANDLES: Dict[Tuple[str, str], ScoringHandle] = {}
 
 
-def _init_worker(model_paths: Tuple[str, ...]) -> None:
+def _init_worker(model_paths: Tuple[str, ...], engine: Optional[str] = None) -> None:
     for path in model_paths:
-        handle = Pipeline.load(path).scoring_handle()
+        handle = _load_handle(path, engine)
         _WORKER_HANDLES[(handle.spec.language, handle.spec.task)] = handle
 
 

@@ -277,6 +277,11 @@ class PredictionServer:
             handle.cell: handle.extraction_stats()
             for handle in self.host.handles.values()
         }
+        engines = {
+            handle.cell: handle.engine
+            for handle in self.host.handles.values()
+            if handle.engine is not None
+        }
         return {
             "uptime_seconds": round(self._uptime(), 3),
             "connections": self._connections,
@@ -297,6 +302,9 @@ class PredictionServer:
             "cache": self.cache.stats(),
             "batcher": self.batcher.stats(),
             "extraction": extraction,
+            # Which inference engine each served cell scores with
+            # (cells whose learner has no engine knob are omitted).
+            "engines": engines,
         }
 
     def _uptime(self) -> float:

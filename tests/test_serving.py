@@ -217,6 +217,34 @@ class TestHealthAndStats:
         assert sum(histogram["counts"]) == histogram["count"]
 
 
+class TestInferenceEngines:
+    def test_stats_expose_served_engine(self, live_server):
+        _server, url = live_server
+        with ServingClient(url) as client:
+            stats = client.stats()
+        cell = "javascript/variable_naming/ast-paths/crf"
+        assert stats["engines"] == {cell: "compiled"}
+
+    def test_scalar_and_compiled_hosts_are_bit_identical(self, model_path):
+        """Serving parity: the engine flag changes the wall-clock only."""
+        compiled_handle = ModelHost([model_path], engine="compiled").resolve(
+            None, None
+        )
+        scalar_handle = ModelHost([model_path], engine="scalar").resolve(
+            None, None
+        )
+        assert compiled_handle.engine == "compiled"
+        assert scalar_handle.engine == "scalar"
+        assert compiled_handle.predict(NOVEL_JS) == scalar_handle.predict(NOVEL_JS)
+        assert compiled_handle.suggest(NOVEL_JS, k=3) == scalar_handle.suggest(
+            NOVEL_JS, k=3
+        )
+
+    def test_unknown_engine_rejected(self, model_path):
+        with pytest.raises(ValueError, match="engine"):
+            ModelHost([model_path], engine="quantum")
+
+
 class TestPredict:
     def test_matches_direct_pipeline(self, live_server, direct):
         _server, url = live_server
