@@ -1,0 +1,188 @@
+"""Artifact benchmark: binary mmap models vs the writable JSON default.
+
+Trains one JS variable-naming model on a mid-size corpus, saves it three
+ways -- JSON, unpruned ``pigeon-model/1`` binary, and a pruned binary
+(``min_rel_count=2``) -- then measures what the artifact redesign is
+supposed to buy:
+
+* **size**: bytes on disk per format, and the pruned-binary compression
+  ratio against JSON;
+* **load-to-first-prediction**: wall time from a cold ``Pipeline.load``
+  to the first completed ``predict`` (median of several runs), JSON vs
+  mmap;
+* **identity**: unpruned binary predictions compared against the JSON
+  pipeline across the held-out set;
+* **accuracy**: held-out exact-match accuracy of the full vs the pruned
+  model, against the budget recorded in the pruned artifact's header.
+
+Emitted as ``BENCH_artifacts.json``; this file runs in the CI smoke job.
+
+Gates:
+
+* unpruned binary predictions are **bit-identical** to JSON (0 mismatches);
+* the pruned binary is at least **2x** smaller than the JSON artifact;
+* binary load-to-first-prediction is at least **5x** faster than JSON;
+* the pruned model's accuracy delta stays within the declared budget.
+"""
+
+import statistics
+import time
+
+from conftest import emit, emit_json, results_dir
+from repro.api import Pipeline
+from repro.artifacts import pack_model
+from repro.corpus import deduplicate, generate_corpus
+from repro.corpus.generator import CorpusConfig
+
+CORPUS = CorpusConfig(language="javascript", n_projects=14, seed=11)
+EPOCHS = 3
+HELD_OUT = 10
+PRUNE_MIN_COUNT = 2
+LOAD_ROUNDS = 5
+
+
+def _train(tmp_dir):
+    kept, _removed = deduplicate(generate_corpus(CORPUS))
+    sources = [f.source for f in kept]
+    split = max(1, len(sources) - HELD_OUT)
+    train, test = sources[:split], sources[split:]
+    pipeline = Pipeline(
+        language="javascript", task="variable_naming", training={"epochs": EPOCHS}
+    )
+    pipeline.train(train)
+    json_path = f"{tmp_dir}/artifact_model.json"
+    binary_path = f"{tmp_dir}/artifact_model.bin"
+    pruned_path = f"{tmp_dir}/artifact_model.pruned.bin"
+    pipeline.save(json_path)
+    pipeline.save(binary_path, format="binary")
+    prune_info = pack_model(json_path, pruned_path, prune_min_count=PRUNE_MIN_COUNT)
+    return pipeline, test, json_path, binary_path, pruned_path, prune_info
+
+
+def _load_to_first_prediction_ms(path, source, rounds=LOAD_ROUNDS):
+    """Median cold-load-then-predict wall time over several rounds."""
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        pipeline = Pipeline.load(path)
+        pipeline.predict(source)
+        samples.append((time.perf_counter() - started) * 1000.0)
+    return statistics.median(samples)
+
+
+def _accuracy(pipeline, sources):
+    total = correct = 0
+    for source in sources:
+        view = pipeline.view(pipeline.parse(source))
+        gold = {node.key: node.gold for node in view.unknowns}
+        predictions = pipeline.predict(source)
+        for key, label in gold.items():
+            total += 1
+            correct += predictions.get(key) == label
+    return correct / max(1, total)
+
+
+def _file_bytes(path):
+    import os
+
+    return os.path.getsize(path)
+
+
+def run_all():
+    tmp_dir = results_dir()
+    trained, test, json_path, binary_path, pruned_path, prune_info = _train(tmp_dir)
+
+    json_bytes = _file_bytes(json_path)
+    binary_bytes = _file_bytes(binary_path)
+    pruned_bytes = _file_bytes(pruned_path)
+
+    from_json = Pipeline.load(json_path)
+    from_binary = Pipeline.load(binary_path)
+    mismatches = sum(
+        1
+        for source in test
+        if from_binary.predict(source) != from_json.predict(source)
+    )
+
+    json_ms = _load_to_first_prediction_ms(json_path, test[0])
+    binary_ms = _load_to_first_prediction_ms(binary_path, test[0])
+    pruned_ms = _load_to_first_prediction_ms(pruned_path, test[0])
+
+    pruned = Pipeline.load(pruned_path)
+    budget = pruned.artifact.prune["accuracy_delta_budget"]
+    accuracy_full = _accuracy(trained, test)
+    accuracy_pruned = _accuracy(pruned, test)
+    delta = accuracy_full - accuracy_pruned
+
+    report = {
+        "model": {
+            "language": "javascript",
+            "task": "variable_naming",
+            "train_files": CORPUS.n_projects,
+            "epochs": EPOCHS,
+            "held_out": len(test),
+            "parameters": trained.learner.model.num_parameters(),
+        },
+        "size": {
+            "json_bytes": json_bytes,
+            "binary_bytes": binary_bytes,
+            "pruned_binary_bytes": pruned_bytes,
+            "binary_vs_json_ratio": round(json_bytes / binary_bytes, 2),
+            "pruned_vs_json_ratio": round(json_bytes / pruned_bytes, 2),
+        },
+        "load": {
+            "json_ms": round(json_ms, 2),
+            "binary_ms": round(binary_ms, 2),
+            "pruned_binary_ms": round(pruned_ms, 2),
+            "speedup": round(json_ms / binary_ms, 2),
+        },
+        "identity": {"held_out_sources": len(test), "mismatches": mismatches},
+        "accuracy": {
+            "full": round(accuracy_full, 4),
+            "pruned": round(accuracy_pruned, 4),
+            "delta": round(delta, 4),
+            "budget": budget,
+            "within_budget": delta <= budget,
+        },
+        "prune": prune_info["prune"],
+    }
+
+    table = "\n".join(
+        [
+            "Model artifacts: pigeon-model/1 binary vs JSON",
+            f"size    json {json_bytes:>9,}B  binary {binary_bytes:>9,}B  "
+            f"pruned {pruned_bytes:>9,}B  ({report['size']['pruned_vs_json_ratio']:.1f}x smaller)",
+            f"load    json {json_ms:>8.1f}ms  binary {binary_ms:>8.1f}ms  "
+            f"pruned {pruned_ms:>8.1f}ms  ({report['load']['speedup']:.1f}x faster)",
+            f"parity  {mismatches} mismatched prediction(s) over {len(test)} held-out sources",
+            f"prune   accuracy {accuracy_full:.3f} -> {accuracy_pruned:.3f} "
+            f"(delta {delta:+.3f}, budget {budget})",
+        ]
+    )
+    return table, report
+
+
+def test_artifact_formats(benchmark):
+    table, report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("artifact_formats", table)
+    emit_json("BENCH_artifacts", report)
+
+    # Gate 1: the binary path is the JSON path, bit for bit.
+    assert report["identity"]["mismatches"] == 0, (
+        "binary-loaded predictions diverged from the JSON pipeline"
+    )
+    # Gate 2: pruning + binary packing must genuinely shrink the artifact.
+    assert report["size"]["pruned_vs_json_ratio"] >= 2.0, (
+        f"pruned binary only {report['size']['pruned_vs_json_ratio']}x "
+        f"smaller than JSON: {report['size']}"
+    )
+    # Gate 3: mmap + zero-copy compile must beat JSON decode decisively.
+    assert report["load"]["speedup"] >= 5.0, (
+        f"binary load-to-first-prediction only {report['load']['speedup']}x "
+        f"faster than JSON: {report['load']}"
+    )
+    # Gate 4: the pruned model honours its recorded accuracy budget.
+    assert report["accuracy"]["within_budget"], (
+        f"pruned accuracy delta {report['accuracy']['delta']} exceeds "
+        f"budget {report['accuracy']['budget']}"
+    )

@@ -58,6 +58,11 @@ TRACKED: Dict[str, List[str]] = {
         "large.build_files_per_second",
         "memory.stream_headroom",
     ],
+    "BENCH_artifacts.json": [
+        "size.pruned_vs_json_ratio",
+        "load.speedup",
+        "accuracy.pruned",
+    ],
     "BENCH_fleet.json": [
         "single.requests_per_second",
         "fleet.requests_per_second",

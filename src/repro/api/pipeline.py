@@ -98,6 +98,9 @@ class Pipeline:
         if binder is not None:
             binder(self.space)
         self.stats = PipelineStats()
+        #: The opened binary artifact backing this pipeline, when it was
+        #: loaded from a ``pigeon-model/1`` file (None otherwise).
+        self.artifact = None
 
     @property
     def space(self):
@@ -358,16 +361,36 @@ class Pipeline:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str) -> None:
-        """Persist spec + trained learner state to one JSON file."""
+    def save(self, path: str, format: str = "json") -> None:
+        """Persist spec + trained learner state to one file.
+
+        ``format="json"`` (the writable default) emits the digest-stamped
+        ``pigeon-pipeline/2`` JSON file.  ``format="binary"`` emits a
+        ``pigeon-model/1`` artifact (see :mod:`repro.artifacts`): the
+        same state packed into mmap-ready numpy sections, which
+        :meth:`load` opens with near-zero cold-start and which N serving
+        processes on one box share through the OS page cache.
+        """
         if not self.learner.trained:
             raise RuntimeError("call train() before save()")
+        faults.fire("pipeline.save")
+        if format == "binary":
+            from ..artifacts import write_state_artifact
+
+            write_state_artifact(
+                os.fspath(path),
+                self.spec.to_dict(),
+                self.spec.learner,
+                self.learner.state_dict(),
+            )
+            return
+        if format != "json":
+            raise ValueError(f"unknown save format {format!r} (json or binary)")
         payload = {
             "format": PIPELINE_FORMAT,
             "spec": self.spec.to_dict(),
             "learner_state": self.learner.state_dict(),
         }
-        faults.fire("pipeline.save")
         # Digest-stamped + atomic: a crash leaves the old model or the
         # complete new one, and Pipeline.load verifies the digest.
         atomic_write_bytes(os.fspath(path), stamped_json_bytes(payload))
@@ -376,9 +399,18 @@ class Pipeline:
     def load(cls, path: str) -> "Pipeline":
         """Rebuild a trained pipeline saved by :meth:`save`.
 
-        The reloaded pipeline produces bit-identical predictions and
-        suggestion scores.
+        Sniffs the on-disk format -- ``pigeon-model/1`` binary artifacts
+        mmap in place (packed read-only weights, shared pages), JSON
+        pipelines parse as before -- and produces bit-identical
+        predictions and suggestion scores either way.  Torn or corrupt
+        files of either format raise
+        :class:`~repro.resilience.atomicio.CorruptArtifactError` with a
+        recovery hint.
         """
+        from ..artifacts.format import is_model_artifact
+
+        if is_model_artifact(path):
+            return cls._load_binary(path)
         payload = read_stamped_json(
             path, hint="the saved model is torn -- retrain or restore a backup"
         )
@@ -398,14 +430,36 @@ class Pipeline:
             )
         pipeline = cls(RunSpec.from_dict(payload["spec"]))
         pipeline.learner.load_state(payload["learner_state"])
+        pipeline._rebind_loaded_space()
+        return pipeline
+
+    @classmethod
+    def _load_binary(cls, path: str) -> "Pipeline":
+        """Open a ``pigeon-model/1`` artifact as a trained pipeline.
+
+        The learner adopts packed read-only state whose arrays are
+        zero-copy views over the artifact's mapping; the pipeline keeps
+        the opened :class:`~repro.artifacts.ModelArtifact` on
+        :attr:`artifact` (pinning the mapping and exposing header
+        metadata like prune provenance).
+        """
+        from ..artifacts import ModelArtifact, restore_learner
+
+        artifact = ModelArtifact.open(path)
+        pipeline = cls(RunSpec.from_dict(artifact.spec))
+        restore_learner(pipeline.learner, artifact)
+        pipeline.artifact = artifact
+        pipeline._rebind_loaded_space()
+        return pipeline
+
+    def _rebind_loaded_space(self) -> None:
         # The learner state carries the feature space its int keys index
         # into; the representation must intern new programs into the SAME
         # space or predict-time ids would not match the trained weights.
-        space = getattr(pipeline.learner, "space", None)
-        rebind = getattr(pipeline.representation, "bind_space", None)
+        space = getattr(self.learner, "space", None)
+        rebind = getattr(self.representation, "bind_space", None)
         if space is not None and rebind is not None:
             rebind(space)
-        return pipeline
 
 
 class ScoringHandle:

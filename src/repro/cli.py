@@ -17,9 +17,18 @@ Usage::
     python -m repro.cli shard info DIR            # inspect/verify a shard set
     python -m repro.cli shard merge DIR           # merge shard vocabs
     python -m repro.cli train --model m.json ...  # train + save a pipeline
+    python -m repro.cli train --model m.bin --format binary ...
+                                                  # save a mmap-ready binary
+                                                  # artifact instead of JSON
     python -m repro.cli train --model m.json --shards DIR
                                                   # stream a sharded corpus
                                                   # through training instead
+    python -m repro.cli model pack IN OUT [--prune-min-count N] [--format binary]
+                                                  # re-pack (and optionally
+                                                  # prune) a saved model
+    python -m repro.cli model info PATH           # header, sections, sizes,
+                                                  # prune provenance
+    python -m repro.cli model verify PATH         # full integrity check
     python -m repro.cli predict --model m.json <file> [--top K]
     python -m repro.cli predict --server URL <file>
                                                   # thin client against a
@@ -369,8 +378,8 @@ def cmd_train(args: argparse.Namespace) -> int:
         checkpoint=checkpoint,
         resume=resume,
     )
-    pipeline.save(args.model)
-    print(json.dumps(_train_report(args.model, spec, stats)))
+    pipeline.save(args.model, format=args.format)
+    print(json.dumps(_train_report(args.model, spec, stats, format=args.format)))
     return 0
 
 
@@ -415,14 +424,27 @@ def _train_from_shards(args: argparse.Namespace) -> int:
     stats = pipeline.train(
         shards=shard_set, merged=args.merged, checkpoint=checkpoint, resume=resume
     )
-    pipeline.save(args.model)
-    print(json.dumps(_train_report(args.model, spec, stats, shards=len(shard_set))))
+    pipeline.save(args.model, format=args.format)
+    print(
+        json.dumps(
+            _train_report(
+                args.model, spec, stats, shards=len(shard_set), format=args.format
+            )
+        )
+    )
     return 0
 
 
-def _train_report(model: str, spec: RunSpec, stats, shards: Optional[int] = None) -> dict:
+def _train_report(
+    model: str,
+    spec: RunSpec,
+    stats,
+    shards: Optional[int] = None,
+    format: str = "json",
+) -> dict:
     report = {
         "model": model,
+        "format": format,
         "spec": spec.to_dict(),
         "files_trained": stats.files_trained,
         "elements_trained": stats.elements_trained,
@@ -432,6 +454,69 @@ def _train_report(model: str, spec: RunSpec, stats, shards: Optional[int] = None
     if shards is not None:
         report["shards"] = shards
     return report
+
+
+def cmd_model_pack(args: argparse.Namespace) -> int:
+    from .artifacts import pack_model
+
+    info = pack_model(
+        args.input,
+        args.output,
+        format=args.format,
+        prune_min_count=args.prune_min_count,
+        accuracy_delta_budget=args.accuracy_delta_budget,
+    )
+    print(json.dumps(info))
+    return 0
+
+
+def cmd_model_info(args: argparse.Namespace) -> int:
+    from .artifacts import artifact_info
+
+    info = artifact_info(args.path)
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    spec = info["spec"] or {}
+    cell = "/".join(
+        str(spec.get(axis, "?"))
+        for axis in ("language", "task", "representation", "learner")
+    )
+    print(
+        f"{info['path']}: {info['kind']} ({info['format']}), cell {cell}, "
+        f"{info['file_bytes']} bytes"
+    )
+    if info["prune"]:
+        prune = info["prune"]
+        print(
+            f"  pruned: min_rel_count={prune.get('min_rel_count')}, "
+            f"accuracy_delta_budget={prune.get('accuracy_delta_budget')}"
+        )
+    for section in info["sections"]:
+        shape = "x".join(str(dim) for dim in section["shape"]) or "scalar"
+        print(
+            f"  {section['name']:<24} {section['dtype']:>6} "
+            f"{shape:>12} {section['nbytes']:>10} bytes"
+        )
+    return 0
+
+
+def cmd_model_verify(args: argparse.Namespace) -> int:
+    from .artifacts import ModelArtifact, is_model_artifact
+    from .resilience.atomicio import read_stamped_json
+
+    if is_model_artifact(args.path):
+        ModelArtifact.open(args.path, verify_payload=True)
+        kind = "binary"
+    else:
+        read_stamped_json(
+            args.path,
+            require_digest=True,
+            hint="the saved model is torn -- retrain or restore a backup",
+        )
+        kind = "json"
+    print(f"{args.path}: OK ({kind}; digests verified)")
+    return 0
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
@@ -844,7 +929,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train a pipeline and save it to a model file")
     train.add_argument("files", nargs="*", help="training files (default: generated corpus)")
-    train.add_argument("--model", required=True, help="output model file (JSON)")
+    train.add_argument("--model", required=True, help="output model file")
+    train.add_argument(
+        "--format",
+        default="json",
+        choices=("json", "binary"),
+        help="saved-model format: json (writable default) or binary "
+        "(mmap-ready pigeon-model/1 artifact for serving fleets)",
+    )
     train.add_argument(
         "--shards",
         default=None,
@@ -885,6 +977,61 @@ def build_parser() -> argparse.ArgumentParser:
         "to it); the finished model is bit-identical to an uninterrupted run",
     )
     train.set_defaults(func=cmd_train)
+
+    model = sub.add_parser(
+        "model",
+        help="inspect, verify, and re-pack saved model artifacts",
+        description="The unified artifact surface: pack converts between "
+        "the JSON pipeline format and the mmap-ready pigeon-model/1 "
+        "binary container (optionally pruning rare relations), info "
+        "prints the header and section table, verify checks every "
+        "digest.",
+    )
+    model_sub = model.add_subparsers(dest="model_command", required=True)
+
+    model_pack = model_sub.add_parser(
+        "pack",
+        help="re-pack a saved model (either format) into json or binary",
+    )
+    model_pack.add_argument("input", help="saved model (JSON pipeline or binary artifact)")
+    model_pack.add_argument("output", help="output artifact path")
+    model_pack.add_argument(
+        "--format",
+        default="binary",
+        choices=("binary", "json"),
+        help="output format (default: binary)",
+    )
+    model_pack.add_argument(
+        "--prune-min-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drop weights/candidates whose relation was observed fewer "
+        "than N times in training, then re-pack the vocab densely",
+    )
+    model_pack.add_argument(
+        "--accuracy-delta-budget",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="declared ceiling on the pruned model's accuracy drop, "
+        "recorded in the artifact header (default: 0.05)",
+    )
+    model_pack.set_defaults(func=cmd_model_pack)
+
+    model_info = model_sub.add_parser(
+        "info", help="print a saved model's header, sections, and sizes"
+    )
+    model_info.add_argument("path")
+    model_info.add_argument("--json", action="store_true", help="emit JSON")
+    model_info.set_defaults(func=cmd_model_info)
+
+    model_verify = model_sub.add_parser(
+        "verify",
+        help="verify a saved model's integrity digests (header + payload)",
+    )
+    model_verify.add_argument("path")
+    model_verify.set_defaults(func=cmd_model_verify)
 
     predict = sub.add_parser(
         "predict",

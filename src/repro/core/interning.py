@@ -177,6 +177,94 @@ class OverlayVocab(Vocab):
         return list(self)
 
 
+class PackedVocab(Vocab):
+    """A :class:`Vocab` whose initial entries live in a packed string table.
+
+    The table is ``blob`` (any bytes-like object -- typically a mmapped
+    section of a ``pigeon-model/1`` artifact) plus ``offsets``, an int
+    sequence of length ``n + 1`` where entry ``i`` occupies
+    ``blob[offsets[i]:offsets[i + 1]]`` as UTF-8.  Nothing is decoded at
+    construction: :meth:`value` decodes single entries on demand, and the
+    first operation that needs the full ``str -> id`` dict (``intern`` /
+    ``id_of`` / ``in``) decodes the table once.  Until then the strings
+    stay in the OS page cache, shared by every process mapping the same
+    artifact.
+
+    After the packed prefix, the vocabulary behaves exactly like a plain
+    :class:`Vocab`: new strings intern append-only at ``len(packed)`` and
+    beyond, ``freeze`` / :class:`OverlayVocab` work unchanged, and
+    ``to_list`` round-trips through :meth:`Vocab.from_list`.
+    """
+
+    __slots__ = ("_blob", "_offsets", "_packed", "_indexed")
+
+    def __init__(self, blob, offsets) -> None:
+        super().__init__()
+        self._blob = blob
+        self._offsets = offsets
+        self._packed = max(0, len(offsets) - 1)
+        self._values = [None] * self._packed
+        self._indexed = self._packed == 0
+
+    @property
+    def packed_count(self) -> int:
+        """How many entries live in the packed (mmapped) table."""
+        return self._packed
+
+    def _decode(self, index: int) -> str:
+        value = self._values[index]
+        if value is None:
+            start = int(self._offsets[index])
+            end = int(self._offsets[index + 1])
+            value = bytes(self._blob[start:end]).decode("utf-8")
+            self._values[index] = value
+        return value
+
+    def _fill(self) -> None:
+        """Decode every packed entry (bulk: one blob copy, then slices)."""
+        offsets = self._offsets
+        end = int(offsets[self._packed]) if self._packed else 0
+        data = bytes(self._blob[:end])
+        values = self._values
+        for i in range(self._packed):
+            if values[i] is None:
+                values[i] = data[int(offsets[i]) : int(offsets[i + 1])].decode("utf-8")
+
+    def _index(self) -> None:
+        """Build the ``str -> id`` dict over the packed prefix, once."""
+        if not self._indexed:
+            self._fill()
+            ids = self._ids
+            for i in range(self._packed):
+                ids[self._values[i]] = i
+            self._indexed = True
+
+    def intern(self, value: str) -> int:
+        self._index()
+        return super().intern(value)
+
+    def id_of(self, value: str) -> Optional[int]:
+        self._index()
+        return self._ids.get(value)
+
+    def value(self, value_id: int) -> str:
+        if 0 <= value_id < self._packed:
+            return self._decode(value_id)
+        return self._values[value_id]
+
+    def __contains__(self, value: str) -> bool:
+        self._index()
+        return value in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        self._fill()
+        return iter(self._values)
+
+    def to_list(self) -> List[str]:
+        self._fill()
+        return list(self._values)
+
+
 class PathVocab(Vocab):
     """Vocabulary of abstract path encodings (the CRF relations)."""
 

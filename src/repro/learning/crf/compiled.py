@@ -99,6 +99,40 @@ class CompiledCrfModel:
         self._dirty = False
         self._pack()
 
+    @classmethod
+    def from_buffers(
+        cls,
+        model: "CrfModel",
+        group_of: Dict[Tuple[int, int], int],
+        keys: np.ndarray,
+        weights: np.ndarray,
+        label_base: int,
+    ) -> "CompiledCrfModel":
+        """Adopt pre-packed planes without copying (the mmap load path).
+
+        ``keys`` / ``weights`` are the sorted combined-key and weight
+        arrays exactly as :meth:`_pack` would build them -- typically
+        zero-copy views over a ``pigeon-model/1`` mapping, shared
+        page-for-page between every process serving the same artifact.
+        The write-through position maps start empty: binary-loaded
+        models are read-only, so no trainer ever calls
+        :meth:`set_pair` / :meth:`set_unary` on this pack (and the
+        backing buffers would refuse the write anyway).
+        """
+        self = cls.__new__(cls)
+        self.model = model
+        self._pack_version = 1
+        self._dirty = False
+        self._label_base = max(1, int(label_base))
+        self._group_of = group_of
+        self._keys = keys
+        self._weights = weights
+        self._pair_pos = {}
+        self._unary_pos = {}
+        self._overflow = {}
+        self._overflow_count = 0
+        return self
+
     # ------------------------------------------------------------------
     # Packing
     # ------------------------------------------------------------------

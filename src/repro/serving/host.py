@@ -21,12 +21,14 @@ on the event loop:
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api.pipeline import Pipeline, ScoringHandle
 from ..api.protocols import ParsedProgram
+from ..artifacts.format import sniff_format
 
 
 @dataclass(frozen=True)
@@ -62,8 +64,14 @@ class ModelHost:
         self.model_paths: List[str] = list(model_paths)
         self.engine = engine
         self.handles: Dict[Tuple[str, str], ScoringHandle] = {}
+        #: cell -> {path, format, load_ms}: cold-start cost per model,
+        #: exposed under ``/stats`` so the JSON-vs-binary artifact choice
+        #: is visible in production instead of being invisible startup tax.
+        self.load_info: Dict[str, Dict[str, object]] = {}
         for path in self.model_paths:
+            started = time.perf_counter()
             handle = _load_handle(path, engine)
+            load_ms = (time.perf_counter() - started) * 1000.0
             key = (handle.spec.language, handle.spec.task)
             if key in self.handles:
                 raise ValueError(
@@ -71,8 +79,17 @@ class ModelHost:
                     f"(language, task) pair may be loaded once"
                 )
             self.handles[key] = handle
+            self.load_info[handle.cell] = {
+                "path": path,
+                "format": sniff_format(path),
+                "load_ms": round(load_ms, 3),
+            }
         self.workers = max(0, int(workers))
         self._executor: Optional[ProcessPoolExecutor] = None
+
+    def model_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-model artifact format and load latency (for ``/stats``)."""
+        return {cell: dict(info) for cell, info in self.load_info.items()}
 
     # ------------------------------------------------------------------
     # Routing

@@ -305,6 +305,8 @@ class PredictionServer:
             # Which inference engine each served cell scores with
             # (cells whose learner has no engine knob are omitted).
             "engines": engines,
+            # Per-model artifact format and cold-start load latency.
+            "models": self.host.model_stats(),
         }
 
     def _uptime(self) -> float:

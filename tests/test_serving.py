@@ -201,10 +201,14 @@ class TestHealthAndStats:
         with ServingClient(url) as client:
             client.predict(NOVEL_JS)
             stats = client.stats()
-        assert {"cache", "batcher", "extraction", "requests"} <= set(stats)
+        assert {"cache", "batcher", "extraction", "requests", "models"} <= set(stats)
         assert "hit_rate" in stats["cache"]
         cell = "javascript/variable_naming/ast-paths/crf"
         assert "asts" in stats["extraction"][cell]
+        # Artifact observability: which format each model loaded from
+        # and what the cold start cost (JSON decode vs binary mmap).
+        assert stats["models"][cell]["format"] == "json"
+        assert stats["models"][cell]["load_ms"] > 0
         # Load observability (what a fleet router merges and fits its
         # capacity model from): instantaneous depth plus per-endpoint
         # fixed-bucket latency histograms.
