@@ -24,7 +24,10 @@ JSONL line -- CI uploads those logs when a chaos job fails.
 
 Known sites: ``atomic.commit``, ``shard.write``, ``pipeline.save``,
 ``checkpoint.save``, ``train.epoch``, ``replica.accept``,
-``replica.respond``, ``router.forward``.
+``replica.respond``, ``router.forward``, ``translate`` (the entry of
+:meth:`repro.translate.Translator.translate`: ``timeout`` stalls the
+translation, ``unavail``/``error`` raise :class:`FaultInjected`, which
+serving surfaces as a 500).
 """
 
 from __future__ import annotations

@@ -1,11 +1,16 @@
 """The serving response cache.
 
-Responses are cached under ``(cell, top, ast_digest)``: the digest
-(:func:`repro.core.extraction.ast_digest`) covers the full tree
-structure, so two submissions share an entry exactly when their parsed
-ASTs are identical -- byte-identical sources and layout-only variants
-hit, structurally different programs never do -- and a hit costs one
-parse instead of extraction plus CRF inference.
+Responses are cached under ``(cell, language, target_language, top,
+ast_digest)``: the digest (:func:`repro.core.extraction.ast_digest`)
+covers the full tree structure, so two submissions share an entry
+exactly when their parsed ASTs are identical -- byte-identical sources
+and layout-only variants hit, structurally different programs never do
+-- and a hit costs one parse instead of extraction plus CRF inference.
+The source language and (for ``translate`` requests) the target language
+are part of the key because the digest alone does not carry them: the
+same structure parsed from two languages, or one source translated into
+two targets, must neither share a cache entry nor coalesce onto the same
+in-flight scoring future.
 """
 
 from __future__ import annotations

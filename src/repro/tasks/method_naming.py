@@ -107,7 +107,23 @@ def build_method_graph(
     elements = method_elements(ast)
     for key, info in elements.items():
         graph.add_unknown(key, gold=str(info["gold"]))
+    add_method_factors(graph, ast, extractor, elements, use_external=use_external)
+    return graph
 
+
+def add_method_factors(
+    graph: CrfGraph,
+    ast: Ast,
+    extractor: PathExtractor,
+    elements: Dict[str, Dict[str, object]],
+    use_external: bool = True,
+) -> None:
+    """Attach the method-naming factors for ``elements`` to ``graph``.
+
+    Shared between :func:`build_method_graph` and the combined
+    ``translate`` task graph (:mod:`repro.tasks.translate`), which mixes
+    method unknowns with variable unknowns in one graph.
+    """
     # Nodes that are method-name occurrences must never appear as "known"
     # neighbours of another method (their labels are being predicted).
     occupied = {id(n) for info in elements.values() for n in info["occurrences"]}
@@ -144,7 +160,6 @@ def build_method_graph(
                     [decl], [call_site], enforce_limits=False
                 ):
                     graph.add_unary_factor(index, extracted.rel_id)
-    return graph
 
 
 def _surrounding_leaves(

@@ -1,0 +1,69 @@
+"""Cross-language translation: AST -> IR lifting + CRF-named rendering.
+
+Architecture
+============
+
+Translation reuses the repo's existing layers end to end and adds only
+the two pieces the paper's pipeline does not have -- *lifting* and
+*re-rendering*::
+
+    source text
+        |  repro.lang frontend (parse_source)       existing
+        v
+    language AST
+        |  repro.translate.lift (one lifter per     NEW -- inverse of the
+        |  language, registered in ``lifters``)     corpus renderers
+        v
+    corpus IR (FileSpec) + symbol table
+        |         |
+        |         |  repro.api ``translate`` task    existing CRF stack:
+        |         |  (variable + method unknowns)    paths -> factors ->
+        |         v                                  loopy max-sum
+        |   CRF name predictions (binding/method key -> name)
+        |         |
+        |  repro.translate.translator applies        NEW -- collision-safe
+        |  predictions to the symbol table           renaming
+        v
+    renamed IR
+        |  repro.corpus renderer for the target      existing
+        v
+    idiomatic target source
+
+Because the lifters invert the corpus renderers into the *same* IR the
+corpus generator starts from, a translation is "a corpus program seen
+from the other side": rendering the lifted IR in the original language
+round-trips, and rendering it in another language yields that language's
+idiom (``for..of`` vs ``range()``, ``.push`` vs ``.add``, camelCase vs
+snake_case) rather than a literal transliteration.
+
+Failure surface: anything outside the IR vocabulary raises
+:class:`UnsupportedConstructError` carrying the language, node kind, and
+a root-relative node position -- the serving layer maps it to a
+structured 4xx, never a 500 or partial output.
+
+Equivalence: :func:`structurally_equivalent` compares two lifted files
+under a renaming/retyping-invariant signature; it is the round-trip gate
+used by ``benchmarks/bench_translate.py``.
+"""
+
+from .equivalence import structural_signature, structurally_equivalent
+from .lift import (
+    LiftResult,
+    UnsupportedConstructError,
+    lift,
+    lifters,
+    node_position,
+)
+from .translator import RENDERERS, Translator
+
+__all__ = [
+    "LiftResult",
+    "RENDERERS",
+    "Translator",
+    "UnsupportedConstructError",
+    "lift",
+    "lifters",
+    "node_position",
+    "structural_signature",
+    "structurally_equivalent",
+]

@@ -1,0 +1,234 @@
+"""Structural equivalence of lifted IR programs.
+
+The round-trip gate (translate -> parse with the target frontend -> lift
+back -> compare) cannot compare IR trees literally: renderers make
+surface choices that are *semantically* one construct.  The signature
+computed here canonicalises exactly those choices and nothing else:
+
+* identifier **names** and static **types** are excluded (translation
+  renames; dynamic targets erase types) -- but identifier *identity* is
+  kept, as the index of each slot's first appearance, so data flow still
+  has to match;
+* ``MapGet``/``Index`` collapse (every renderer prints both the same
+  way), ``MapPut`` merges with subscript assignment, ``Incr`` merges
+  with ``+= 1``, ``StrCat`` with ``+``, a missing ``Decl`` initialiser
+  with an explicit null/None;
+* literal values, operators, statement shapes, argument counts,
+  free-call names (case of the first letter normalised, C# renders them
+  ``Helpers.PascalCase``) and throw messages are all kept.
+
+Two programs with equal signatures execute the same algorithm over the
+same literals with consistently-mapped variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..corpus.ir import (
+    Append,
+    Assign,
+    Aug,
+    Bin,
+    Break,
+    CallFree,
+    CallLocal,
+    Decl,
+    Expr,
+    ExprStmt,
+    FileSpec,
+    ForEach,
+    ForRange,
+    Function,
+    If,
+    Incr,
+    Index,
+    Len,
+    Lit,
+    MapGet,
+    MapHas,
+    MapPut,
+    NewCollection,
+    Not,
+    Return,
+    Stmt,
+    StrCat,
+    Throw,
+    Var,
+    VarSlot,
+    While,
+)
+
+Signature = Tuple
+
+
+class _FunctionContext:
+    """Per-function canonical numbering of slots and local-method targets."""
+
+    def __init__(
+        self,
+        method_order: Dict[Tuple[str, ...], int],
+        rendered_names: Dict[str, int],
+    ) -> None:
+        self.slot_index: Dict[int, int] = {}
+        self.method_order = method_order
+        #: Every rendered spelling of a local method name -> its index.
+        #: A free call with such a name is indistinguishable from a local
+        #: call in source, so the signature resolves it to the method.
+        self.rendered_names = rendered_names
+
+    def slot(self, slot: VarSlot) -> int:
+        key = id(slot)
+        if key not in self.slot_index:
+            self.slot_index[key] = len(self.slot_index)
+        return self.slot_index[key]
+
+
+def _norm_free_name(name: str) -> str:
+    return name[0].lower() + name[1:] if name else name
+
+
+def _lit_sig(value) -> Tuple:
+    if value is None:
+        return ("none",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", repr(value))
+    return ("str", value)
+
+
+def _expr_sig(expr: Optional[Expr], ctx: _FunctionContext) -> Tuple:
+    if expr is None:
+        return ("lit", ("none",))
+    if isinstance(expr, Var):
+        return ("var", ctx.slot(expr.slot))
+    if isinstance(expr, Lit):
+        return ("lit", _lit_sig(expr.value))
+    if isinstance(expr, Bin):
+        return ("bin", expr.op, _expr_sig(expr.left, ctx), _expr_sig(expr.right, ctx))
+    if isinstance(expr, StrCat):
+        return ("bin", "+", _expr_sig(expr.left, ctx), _expr_sig(expr.right, ctx))
+    if isinstance(expr, Not):
+        return ("not", _expr_sig(expr.operand, ctx))
+    if isinstance(expr, CallFree):
+        local = ctx.rendered_names.get(expr.name)
+        if local is not None:
+            return ("calllocal", local, tuple(_expr_sig(a, ctx) for a in expr.args))
+        return (
+            "callfree",
+            _norm_free_name(expr.name),
+            tuple(_expr_sig(a, ctx) for a in expr.args),
+        )
+    if isinstance(expr, CallLocal):
+        target = ctx.method_order.get(tuple(expr.name_subtokens), -1)
+        return ("calllocal", target, tuple(_expr_sig(a, ctx) for a in expr.args))
+    if isinstance(expr, Len):
+        return ("len", _expr_sig(expr.operand, ctx))
+    if isinstance(expr, Index):
+        return ("get", _expr_sig(expr.collection, ctx), _expr_sig(expr.index, ctx))
+    if isinstance(expr, MapGet):
+        return ("get", _expr_sig(expr.map, ctx), _expr_sig(expr.key, ctx))
+    if isinstance(expr, MapHas):
+        return ("has", _expr_sig(expr.map, ctx), _expr_sig(expr.key, ctx))
+    if isinstance(expr, NewCollection):
+        kind = "map" if expr.type.startswith("map") else "list"
+        return ("new", kind)
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+_INCR_VALUE_SIG = ("lit", ("num", "1"))
+
+
+def _stmt_sig(stmt: Stmt, ctx: _FunctionContext) -> Tuple:
+    if isinstance(stmt, Decl):
+        return ("decl", ctx.slot(stmt.slot), _expr_sig(stmt.init, ctx))
+    if isinstance(stmt, Assign):
+        if isinstance(stmt.target, Index):
+            return (
+                "put",
+                _expr_sig(stmt.target.collection, ctx),
+                _expr_sig(stmt.target.index, ctx),
+                _expr_sig(stmt.value, ctx),
+            )
+        return ("assign", _expr_sig(stmt.target, ctx), _expr_sig(stmt.value, ctx))
+    if isinstance(stmt, MapPut):
+        return (
+            "put",
+            _expr_sig(stmt.map, ctx),
+            _expr_sig(stmt.key, ctx),
+            _expr_sig(stmt.value, ctx),
+        )
+    if isinstance(stmt, Aug):
+        return ("aug", stmt.op, _expr_sig(stmt.target, ctx), _expr_sig(stmt.value, ctx))
+    if isinstance(stmt, Incr):
+        return ("aug", "+", _expr_sig(stmt.target, ctx), _INCR_VALUE_SIG)
+    if isinstance(stmt, If):
+        return (
+            "if",
+            _expr_sig(stmt.cond, ctx),
+            _block_sig(stmt.body, ctx),
+            _block_sig(stmt.orelse, ctx),
+        )
+    if isinstance(stmt, While):
+        return ("while", _expr_sig(stmt.cond, ctx), _block_sig(stmt.body, ctx))
+    if isinstance(stmt, ForRange):
+        return (
+            "forrange",
+            ctx.slot(stmt.slot),
+            _expr_sig(stmt.stop, ctx),
+            _block_sig(stmt.body, ctx),
+        )
+    if isinstance(stmt, ForEach):
+        return (
+            "foreach",
+            ctx.slot(stmt.slot),
+            _expr_sig(stmt.iterable, ctx),
+            _block_sig(stmt.body, ctx),
+        )
+    if isinstance(stmt, Return):
+        value = None if stmt.value is None else _expr_sig(stmt.value, ctx)
+        return ("return", value)
+    if isinstance(stmt, ExprStmt):
+        return ("expr", _expr_sig(stmt.expr, ctx))
+    if isinstance(stmt, Break):
+        return ("break",)
+    if isinstance(stmt, Append):
+        return ("append", _expr_sig(stmt.collection, ctx), _expr_sig(stmt.value, ctx))
+    if isinstance(stmt, Throw):
+        return ("throw", stmt.message)
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _block_sig(body: List[Stmt], ctx: _FunctionContext) -> Tuple:
+    return tuple(_stmt_sig(s, ctx) for s in body)
+
+
+def _function_sig(
+    fn: Function,
+    method_order: Dict[Tuple[str, ...], int],
+    rendered_names: Dict[str, int],
+) -> Tuple:
+    ctx = _FunctionContext(method_order, rendered_names)
+    for param in fn.params:
+        ctx.slot(param)
+    return (len(fn.params), _block_sig(fn.body, ctx))
+
+
+def structural_signature(spec: FileSpec) -> Signature:
+    """A renaming/retyping-invariant signature of one IR file."""
+    method_order: Dict[Tuple[str, ...], int] = {}
+    for i, fn in enumerate(spec.functions):
+        method_order.setdefault(tuple(fn.name_subtokens), i)
+    rendered_names: Dict[str, int] = {}
+    for i, fn in enumerate(spec.functions):
+        for spelling in (fn.camel_name(), fn.pascal_name(), fn.snake_name()):
+            rendered_names.setdefault(spelling, i)
+    return tuple(
+        _function_sig(fn, method_order, rendered_names) for fn in spec.functions
+    )
+
+
+def structurally_equivalent(a: FileSpec, b: FileSpec) -> bool:
+    """True when the two files execute the same structure (see module doc)."""
+    return structural_signature(a) == structural_signature(b)

@@ -1,0 +1,1504 @@
+"""AST -> corpus-IR lifters, one per language frontend.
+
+A lifter inverts the corresponding ``repro.corpus.render_*`` renderer: it
+walks a parsed :class:`~repro.core.ast_model.Ast` and rebuilds the
+:mod:`repro.corpus.ir` program it denotes.  Because the IR is the shared
+pivot of all four renderers, lifting + re-rendering is translation.
+
+Three properties matter more than coverage:
+
+* **Symbol-table fidelity** -- every renameable identifier occurrence
+  resolves to one shared :class:`~repro.corpus.ir.VarSlot` keyed by the
+  *frontend binding key* (``m1:total``, ``s2:count``, ...), and every
+  method declaration is keyed ``method:{i}:{name}`` exactly as
+  :func:`repro.tasks.method_naming.method_elements` keys it.  CRF
+  predictions made on the same AST therefore address lifted symbols
+  directly; renaming is mutating ``slot.name`` in place.
+* **Structured failure** -- anything outside the IR vocabulary raises
+  :class:`UnsupportedConstructError` carrying the node kind and a
+  child-index path from the root, so callers (CLI, server) can surface a
+  precise 4xx instead of a stack trace or partial output.
+* **Type recovery** -- dynamic-language lifts run a small fixpoint
+  (:func:`infer_types`) that recovers static types from usage (loop
+  bounds, map/list operations, literals) so rendering into Java/C# is
+  idiomatically typed rather than ``Object``-soup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import re
+
+from ..core.ast_model import Ast, Node
+from ..corpus.ir import (
+    BOOL,
+    DOUBLE,
+    INT,
+    LIST_INT,
+    LIST_STRING,
+    MAP_STR_INT,
+    OBJECT,
+    STRING,
+    VOID,
+    Append,
+    Assign,
+    Aug,
+    Bin,
+    Break,
+    CallFree,
+    CallLocal,
+    Decl,
+    Expr,
+    ExprStmt,
+    FileSpec,
+    ForEach,
+    ForRange,
+    Function,
+    If,
+    Incr,
+    Index,
+    Len,
+    Lit,
+    MapGet,
+    MapHas,
+    MapPut,
+    NewCollection,
+    Not,
+    Return,
+    Stmt,
+    StrCat,
+    Throw,
+    Var,
+    VarSlot,
+    While,
+    custom_type,
+    expr_type,
+)
+from ..registry import Registry
+from ..tasks.variable_naming import RENAMEABLE_KINDS
+
+#: The lifter extension point: language name -> lifter class.
+lifters = Registry("lifter")
+
+#: Binary operators the IR vocabulary admits.
+_BIN_OPS = frozenset({"+", "-", "*", "/", "%", "==", "!=", "<", ">", "<=", ">=", "&&", "||"})
+
+_CAMEL_RE = re.compile(r"[A-Za-z][a-z]*|[0-9]+")
+
+
+def split_camel(name: str) -> Tuple[str, ...]:
+    """``runCount0`` -> ``("run", "count", "0")`` (inverse of camel/Pascal)."""
+    parts = tuple(m.group(0).lower() for m in _CAMEL_RE.finditer(name))
+    return parts or (name.lower(),)
+
+
+def split_snake(name: str) -> Tuple[str, ...]:
+    """``run_count_0`` -> ``("run", "count", "0")`` (inverse of snake)."""
+    parts = tuple(p for p in name.split("_") if p)
+    return parts or (name,)
+
+
+def node_position(node: Node) -> str:
+    """Child-index path from the root, e.g. ``CompilationUnit/ClassDeclaration[2]/IfStmt[4]``."""
+    parts: List[str] = []
+    current = node
+    while current.parent is not None:
+        parts.append(f"{current.kind}[{current.child_index()}]")
+        current = current.parent
+    parts.append(current.kind)
+    return "/".join(reversed(parts))
+
+
+class UnsupportedConstructError(ValueError):
+    """A source construct outside the corpus-IR vocabulary.
+
+    Carries enough structure (language, node kind, tree position) for the
+    serving layer to answer a 4xx that pinpoints the offending node.
+    """
+
+    def __init__(self, language: str, node: Node, detail: str = "") -> None:
+        self.language = language
+        self.node_kind = node.kind
+        self.position = node_position(node)
+        self.detail = detail
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"[{language}] unsupported construct {node.kind!r} "
+            f"at {self.position}{suffix}"
+        )
+
+
+@dataclass
+class LiftResult:
+    """One file lifted to IR plus the symbol table the CRF addresses."""
+
+    spec: FileSpec
+    language: str
+    #: frontend binding key -> the (shared, mutable) slot it lifted to.
+    slots: Dict[str, VarSlot] = field(default_factory=dict)
+    #: ``method:{i}:{name}`` element key -> the lifted Function.
+    methods: Dict[str, Function] = field(default_factory=dict)
+
+
+def lift(ast: Ast) -> LiftResult:
+    """Lift a parsed program into the corpus IR (entry point)."""
+    lifter_cls = lifters.get(ast.language)
+    result = lifter_cls(ast).lift()
+    infer_types(result)
+    return result
+
+
+class _LifterBase:
+    language = ""
+
+    def __init__(self, ast: Ast) -> None:
+        self.ast = ast
+        self.slots: Dict[str, VarSlot] = {}
+        self.methods: Dict[str, Function] = {}
+        #: rendered declaration name -> Function, for CallLocal detection.
+        self.local_names: Dict[str, Function] = {}
+
+    def lift(self) -> LiftResult:
+        raise NotImplementedError
+
+    def fail(self, node: Node, detail: str = "") -> None:
+        raise UnsupportedConstructError(self.language, node, detail)
+
+    def slot_at(self, node: Node, type_tag: str = OBJECT, kind: str = "") -> VarSlot:
+        """The shared slot behind one identifier occurrence node.
+
+        Accepts renameable locals/params plus variables whose name shadows
+        a same-file function (the JS resolver marks those ``function``);
+        shadowing slots lift normally but never receive CRF predictions.
+        """
+        binding = node.meta.get("binding")
+        id_kind = node.meta.get("id_kind")
+        if binding is None or id_kind not in (*RENAMEABLE_KINDS, "function"):
+            self.fail(node, "identifier is not a renameable local/param")
+        slot = self.slots.get(binding)
+        if slot is None:
+            slot = VarSlot(node.value or str(binding), type_tag, kind or str(node.meta.get("id_kind")))
+            self.slots[binding] = slot
+        return slot
+
+    def register_method(self, index: int, name: str, fn: Function) -> None:
+        self.methods[f"method:{index}:{name}"] = fn
+        # First declaration wins on duplicate names, like overload-free
+        # resolution; keeps call targets deterministic for the signature.
+        self.local_names.setdefault(name, fn)
+
+    def make_call(self, name: str, args: List[Expr], node: Node) -> Expr:
+        """A local (same-file) or free call, by declared-name lookup."""
+        fn = self.local_names.get(name)
+        if fn is not None:
+            return CallLocal(fn.name_subtokens, args, fn.return_type)
+        return CallFree(name, args, OBJECT)
+
+    def var_expr(self, node: Node) -> Var:
+        return Var(self.slot_at(node))
+
+    def result(self, spec: FileSpec) -> LiftResult:
+        return LiftResult(spec, self.language, self.slots, self.methods)
+
+
+# ----------------------------------------------------------------------
+# Java
+# ----------------------------------------------------------------------
+
+
+@lifters.register("java")
+class JavaLifter(_LifterBase):
+    language = "java"
+
+    _PRIMITIVES = {"int": INT, "double": DOUBLE, "boolean": BOOL, "void": VOID}
+    _CLASS_TYPES = {
+        "String": STRING,
+        "Object": OBJECT,
+        "Integer": INT,
+        "Double": DOUBLE,
+        "Boolean": BOOL,
+    }
+
+    def lift(self) -> LiftResult:
+        root = self.ast.root
+        if root.kind != "CompilationUnit":
+            self.fail(root, "expected a compilation unit")
+        project = "translated"
+        class_node: Optional[Node] = None
+        for child in root.children:
+            if child.kind == "PackageDeclaration":
+                name = child.children[0].value or "" if child.children else ""
+                parts = name.split(".")
+                if len(parts) == 3 and parts[0] == "com" and parts[2] == "app":
+                    project = parts[1]
+            elif child.kind == "ImportDeclaration":
+                continue
+            elif child.kind == "ClassDeclaration":
+                if class_node is not None:
+                    self.fail(child, "multiple top-level classes")
+                class_node = child
+            else:
+                self.fail(child)
+        if class_node is None:
+            self.fail(root, "no class declaration")
+
+        members = list(class_node.children)
+        class_name = ""
+        if members and members[0].kind == "SimpleName":
+            class_name = members[0].value or ""
+            members = members[1:]
+        shells: List[Tuple[Function, List[Node]]] = []
+        for i, member in enumerate(members):
+            if member.kind != "MethodDeclaration":
+                self.fail(member)
+            ch = member.children
+            return_type = self.lift_type(ch[0])
+            name = ch[1].value or ""
+            params: List[VarSlot] = []
+            j = 2
+            while j < len(ch) and ch[j].kind == "Parameter":
+                ptype = self.lift_type(ch[j].children[0])
+                slot = self.slot_at(ch[j].children[1], ptype, "param")
+                slot.type = ptype
+                params.append(slot)
+                j += 1
+            fn = Function(split_camel(name), params, [], return_type)
+            self.register_method(i, name, fn)
+            shells.append((fn, ch[j:]))
+        for fn, stmts in shells:
+            fn.body = self.lift_block(stmts)
+        module = "_".join(split_camel(class_name)) if class_name else "module"
+        return self.result(
+            FileSpec(project, module, [fn for fn, _ in shells], class_name)
+        )
+
+    def lift_type(self, node: Node) -> str:
+        kind, value = node.kind, node.value or ""
+        if kind == "PrimitiveType":
+            if value in self._PRIMITIVES:
+                return self._PRIMITIVES[value]
+            self.fail(node, f"primitive type {value!r}")
+        if kind == "ClassType":
+            if value in self._CLASS_TYPES:
+                return self._CLASS_TYPES[value]
+            if value == "void":
+                return VOID
+            return custom_type(value)
+        if kind == "GenericType" and node.children:
+            base = node.children[0].value or ""
+            args = [c.value or "" for c in node.children[1:]]
+            if base in ("List", "ArrayList"):
+                if args == ["Integer"]:
+                    return LIST_INT
+                if args == ["String"]:
+                    return LIST_STRING
+            if base in ("Map", "HashMap") and args == ["String", "Integer"]:
+                return MAP_STR_INT
+            self.fail(node, "unsupported generic type")
+        self.fail(node, "unsupported type")
+        raise AssertionError  # unreachable; fail() always raises
+
+    def lift_block(self, nodes: List[Node]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for node in nodes:
+            self.lift_stmt(node, out)
+        return out
+
+    def lift_stmt(self, node: Node, out: List[Stmt]) -> None:
+        kind = node.kind
+        if kind == "VariableDeclarationExpr":
+            type_tag = self.lift_type(node.children[0])
+            for declarator in node.children[1:]:
+                if declarator.kind != "VariableDeclarator":
+                    self.fail(declarator)
+                slot = self.slot_at(declarator.children[0], type_tag)
+                slot.type = type_tag
+                init = (
+                    self.lift_expr(declarator.children[1])
+                    if len(declarator.children) > 1
+                    else None
+                )
+                out.append(Decl(slot, init))
+        elif kind == "IfStmt":
+            cond = self.lift_expr(node.children[0])
+            rest = node.children[1:]
+            orelse: List[Stmt] = []
+            if rest and rest[-1].kind == "ElseStmt":
+                orelse = self.lift_block(rest[-1].children)
+                rest = rest[:-1]
+            out.append(If(cond, self.lift_block(rest), orelse))
+        elif kind == "WhileStmt":
+            out.append(
+                While(self.lift_expr(node.children[0]), self.lift_block(node.children[1:]))
+            )
+        elif kind == "ForStmt":
+            out.append(self.lift_for(node))
+        elif kind == "ForeachStmt":
+            decl = node.children[0]
+            type_tag = self.lift_type(decl.children[0])
+            declarator = decl.children[1]
+            slot = self.slot_at(declarator.children[0], type_tag)
+            slot.type = type_tag
+            iterable = self.lift_expr(node.children[1])
+            out.append(ForEach(slot, iterable, self.lift_block(node.children[2:])))
+        elif kind == "ReturnStmt":
+            value = self.lift_expr(node.children[0]) if node.children else None
+            out.append(Return(value))
+        elif kind == "BreakStmt":
+            out.append(Break())
+        elif kind == "ThrowStmt":
+            out.append(self.lift_throw(node))
+        elif kind.startswith("AssignExpr"):
+            out.append(self.lift_assign(node))
+        elif kind == "PostfixExpr++":
+            target = self.lift_expr(node.children[0])
+            if not isinstance(target, Var):
+                self.fail(node, "++ on a non-variable")
+            out.append(Incr(target))
+        elif kind == "MethodCallExpr":
+            lifted = self.lift_call(node, as_stmt=True)
+            out.append(lifted if isinstance(lifted, (Append, MapPut)) else ExprStmt(lifted))
+        else:
+            self.fail(node)
+
+    def lift_for(self, node: Node) -> Stmt:
+        ch = node.children
+        if (
+            len(ch) < 3
+            or ch[0].kind != "VariableDeclarationExpr"
+            or ch[1].kind != "BinaryExpr<"
+            or ch[2].kind != "PostfixExpr++"
+        ):
+            self.fail(node, "only 'for (int i = 0; i < stop; i++)' loops lift")
+        declarator = ch[0].children[1]
+        name_node = declarator.children[0]
+        slot = self.slot_at(name_node, INT)
+        slot.type = INT
+        binding = name_node.meta.get("binding")
+        start = declarator.children[1] if len(declarator.children) > 1 else None
+        if start is None or start.kind != "IntegerLiteral" or start.value != "0":
+            self.fail(node, "counting for-loops must start at 0")
+        left, stop_node = ch[1].children
+        if left.meta.get("binding") != binding:
+            self.fail(node, "loop condition does not test the loop variable")
+        if ch[2].children[0].meta.get("binding") != binding:
+            self.fail(node, "loop update does not bump the loop variable")
+        return ForRange(slot, self.lift_expr(stop_node), self.lift_block(ch[3:]))
+
+    def lift_assign(self, node: Node) -> Stmt:
+        op = node.kind[len("AssignExpr"):]
+        target_node, value_node = node.children
+        value = self.lift_expr(value_node)
+        if op == "=":
+            if target_node.kind != "NameExpr":
+                self.fail(target_node, "unsupported assignment target")
+            return Assign(self.var_expr(target_node), value)
+        if op in ("+=", "-=", "*="):
+            target = self.lift_expr(target_node)
+            if not isinstance(target, Var):
+                self.fail(target_node, "compound assignment to a non-variable")
+            return Aug(target, op[0], value)
+        self.fail(node, f"assignment operator {op!r}")
+        raise AssertionError
+
+    def lift_throw(self, node: Node) -> Stmt:
+        obj = node.children[0]
+        ch = obj.children if obj.kind == "ObjectCreationExpr" else []
+        if len(ch) == 2 and ch[0].kind == "ClassType" and ch[1].kind == "StringLiteral":
+            return Throw(ch[1].value or "")
+        self.fail(node, "only 'throw new Exc(\"message\")' lifts")
+        raise AssertionError
+
+    def lift_call(self, node: Node, as_stmt: bool = False) -> Expr:
+        ch = node.children
+        first = ch[0]
+        if first.kind == "SimpleName":
+            args = [self.lift_expr(a) for a in ch[1:]]
+            return self.make_call(first.value or "", args, node)
+        method = ch[1].value or ""
+        args = ch[2:]
+        obj = self.lift_expr(first)
+        if method == "get" and len(args) == 1:
+            return Index(obj, self.lift_expr(args[0]))
+        if method == "containsKey" and len(args) == 1:
+            return MapHas(obj, self.lift_expr(args[0]))
+        if method in ("size", "length") and not args:
+            return Len(obj)
+        if as_stmt and method == "add" and len(args) == 1:
+            return Append(obj, self.lift_expr(args[0]))  # type: ignore[return-value]
+        if as_stmt and method == "put" and len(args) == 2:
+            return MapPut(obj, self.lift_expr(args[0]), self.lift_expr(args[1]))  # type: ignore[return-value]
+        self.fail(node, f"unsupported method call .{method}()")
+        raise AssertionError
+
+    def lift_expr(self, node: Node) -> Expr:
+        kind = node.kind
+        if kind == "NameExpr":
+            return self.var_expr(node)
+        if kind == "IntegerLiteral":
+            return Lit(int(node.value or "0"), INT)
+        if kind == "DoubleLiteral":
+            return Lit(float(node.value or "0"), DOUBLE)
+        if kind == "StringLiteral":
+            return Lit(node.value or "", STRING)
+        if kind == "BooleanLiteral":
+            return Lit(node.value == "true", BOOL)
+        if kind == "NullLiteral":
+            return Lit(None, OBJECT)
+        if kind.startswith("BinaryExpr"):
+            op = kind[len("BinaryExpr"):]
+            if op not in _BIN_OPS:
+                self.fail(node, f"binary operator {op!r}")
+            return Bin(op, self.lift_expr(node.children[0]), self.lift_expr(node.children[1]))
+        if kind == "UnaryExpr!":
+            return Not(self.lift_expr(node.children[0]))
+        if kind == "UnaryExpr-":
+            operand = self.lift_expr(node.children[0])
+            if isinstance(operand, Lit) and operand.type in (INT, DOUBLE):
+                return Lit(-operand.value, operand.type)
+            self.fail(node, "unary minus on a non-literal")
+        if kind == "MethodCallExpr":
+            return self.lift_call(node)
+        if kind == "ObjectCreationExpr":
+            ch = node.children
+            if len(ch) == 1 and ch[0].kind == "GenericType":
+                return NewCollection(self.lift_type(ch[0]))
+            self.fail(node, "only empty collection constructors lift")
+        self.fail(node)
+        raise AssertionError
+
+
+# ----------------------------------------------------------------------
+# Python
+# ----------------------------------------------------------------------
+
+
+@lifters.register("python")
+class PythonLifter(_LifterBase):
+    language = "python"
+
+    def lift(self) -> LiftResult:
+        root = self.ast.root
+        if root.kind != "Module":
+            self.fail(root, "expected a module")
+        shells: List[Tuple[Function, List[Node]]] = []
+        index = 0
+        for child in root.children:
+            if child.kind != "FunctionDef":
+                self.fail(child, "only top-level function definitions lift")
+            ch = child.children
+            if not ch or ch[0].kind != "FunctionName":
+                self.fail(child, "function without a name")
+            name = ch[0].value or ""
+            params: List[VarSlot] = []
+            j = 1
+            while j < len(ch) and ch[j].kind == "arg":
+                slot = self.slot_at(ch[j], OBJECT, "param")
+                slot.kind = "param"
+                params.append(slot)
+                j += 1
+            if j < len(ch) and ch[j].kind in ("SelfArg", "Default"):
+                self.fail(ch[j], "methods and default arguments do not lift")
+            fn = Function(split_snake(name), params, [], VOID)
+            self.register_method(index, name, fn)
+            shells.append((fn, ch[j:]))
+            index += 1
+        for fn, stmts in shells:
+            fn.body = self.lift_block(stmts)
+            if fn.return_type == VOID and _has_valued_return(fn.body):
+                fn.return_type = OBJECT
+        return self.result(
+            FileSpec("translated", "translated", [fn for fn, _ in shells], "Translated")
+        )
+
+    def lift_block(self, nodes: List[Node]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for node in nodes:
+            self.lift_stmt(node, out)
+        return out
+
+    def lift_stmt(self, node: Node, out: List[Stmt]) -> None:
+        kind = node.kind
+        if kind == "Assign":
+            if len(node.children) != 2:
+                self.fail(node, "multi-target assignment")
+            target, value_node = node.children
+            value = self.lift_expr(value_node)
+            if target.kind == "Name":
+                binding = target.meta.get("binding")
+                fresh = binding not in self.slots
+                var = self.var_expr(target)
+                out.append(Decl(var.slot, value) if fresh else Assign(var, value))
+            elif target.kind == "Subscript":
+                collection = self.lift_expr(target.children[0])
+                key = self.lift_expr(target.children[1])
+                out.append(MapPut(collection, key, value))
+            else:
+                self.fail(target, "unsupported assignment target")
+        elif kind.startswith("AugAssign"):
+            op = kind[len("AugAssign"):]
+            if op not in ("+", "-", "*"):
+                self.fail(node, f"augmented operator {op!r}")
+            target = self.lift_expr(node.children[0])
+            if not isinstance(target, Var):
+                self.fail(node, "augmented assignment to a non-variable")
+            value = self.lift_expr(node.children[1])
+            if op == "+" and isinstance(value, Lit) and value.value == 1:
+                out.append(Incr(target))
+            else:
+                out.append(Aug(target, op, value))
+        elif kind == "If":
+            cond = self.lift_expr(node.children[0])
+            rest = node.children[1:]
+            orelse: List[Stmt] = []
+            if rest and rest[-1].kind == "Else":
+                orelse = self.lift_block(rest[-1].children)
+                rest = rest[:-1]
+            out.append(If(cond, self.lift_block(rest), orelse))
+        elif kind == "While":
+            out.append(
+                While(self.lift_expr(node.children[0]), self.lift_block(node.children[1:]))
+            )
+        elif kind == "For":
+            out.append(self.lift_for(node))
+        elif kind == "Return":
+            value = self.lift_expr(node.children[0]) if node.children else None
+            out.append(Return(value))
+        elif kind == "Break":
+            out.append(Break())
+        elif kind == "Pass":
+            return
+        elif kind == "Raise":
+            out.append(self.lift_raise(node))
+        elif kind == "Call":
+            callee = node.children[0]
+            if (
+                callee.kind == "Attribute"
+                and len(callee.children) == 2
+                and callee.children[1].value == "append"
+                and len(node.children) == 2
+            ):
+                out.append(
+                    Append(
+                        self.lift_expr(callee.children[0]),
+                        self.lift_expr(node.children[1]),
+                    )
+                )
+            else:
+                out.append(ExprStmt(self.lift_expr(node)))
+        else:
+            self.fail(node)
+
+    def lift_for(self, node: Node) -> Stmt:
+        target, iterable = node.children[0], node.children[1]
+        body = node.children[2:]
+        if body and body[-1].kind == "Else":
+            self.fail(body[-1], "for-else does not lift")
+        if target.kind != "Name":
+            self.fail(target, "unsupported loop target")
+        slot = self.slot_at(target)
+        if (
+            iterable.kind == "Call"
+            and iterable.children
+            and iterable.children[0].kind == "Name"
+            and iterable.children[0].value == "range"
+            and len(iterable.children) == 2
+        ):
+            slot.type = INT
+            return ForRange(slot, self.lift_expr(iterable.children[1]), self.lift_block(body))
+        return ForEach(slot, self.lift_expr(iterable), self.lift_block(body))
+
+    def lift_raise(self, node: Node) -> Stmt:
+        if node.children:
+            call = node.children[0]
+            if (
+                call.kind == "Call"
+                and len(call.children) == 2
+                and call.children[0].kind == "Name"
+                and call.children[1].kind == "Str"
+            ):
+                return Throw(call.children[1].value or "")
+        self.fail(node, "only 'raise Exc(\"message\")' lifts")
+        raise AssertionError
+
+    def lift_expr(self, node: Node) -> Expr:
+        kind = node.kind
+        if kind == "Name":
+            if node.meta.get("id_kind") in RENAMEABLE_KINDS:
+                return self.var_expr(node)
+            self.fail(node, "global name outside a call position")
+        if kind == "Num":
+            text = node.value or "0"
+            if any(c in text for c in ".eE"):
+                return Lit(float(text), DOUBLE)
+            return Lit(int(text), INT)
+        if kind == "Str":
+            return Lit(node.value or "", STRING)
+        if kind == "NameConstant":
+            if node.value in ("True", "False"):
+                return Lit(node.value == "True", BOOL)
+            return Lit(None, OBJECT)
+        if kind.startswith("Compare"):
+            op = kind[len("Compare"):]
+            left, right = node.children
+            if op == "in":
+                return MapHas(self.lift_expr(right), self.lift_expr(left))
+            if op in _BIN_OPS:
+                return Bin(op, self.lift_expr(left), self.lift_expr(right))
+            self.fail(node, f"comparison {op!r}")
+        if kind.startswith("BoolOp"):
+            op = "&&" if kind.endswith("and") else "||"
+            lifted = [self.lift_expr(c) for c in node.children]
+            folded = lifted[0]
+            for operand in lifted[1:]:
+                folded = Bin(op, folded, operand)
+            return folded
+        if kind.startswith("BinOp"):
+            op = kind[len("BinOp"):]
+            if op not in ("+", "-", "*", "/", "%"):
+                self.fail(node, f"binary operator {op!r}")
+            return Bin(op, self.lift_expr(node.children[0]), self.lift_expr(node.children[1]))
+        if kind == "UnaryOpnot":
+            return Not(self.lift_expr(node.children[0]))
+        if kind == "UnaryOp-":
+            operand = self.lift_expr(node.children[0])
+            if isinstance(operand, Lit) and operand.type in (INT, DOUBLE):
+                return Lit(-operand.value, operand.type)
+            self.fail(node, "unary minus on a non-literal")
+        if kind == "Call":
+            return self.lift_call(node)
+        if kind == "Subscript":
+            return Index(self.lift_expr(node.children[0]), self.lift_expr(node.children[1]))
+        if kind == "Dict":
+            if node.children:
+                self.fail(node, "only empty dict literals lift")
+            return NewCollection(MAP_STR_INT)
+        if kind == "List":
+            if node.children:
+                self.fail(node, "only empty list literals lift")
+            return NewCollection(LIST_INT)
+        self.fail(node)
+        raise AssertionError
+
+    def lift_call(self, node: Node) -> Expr:
+        callee = node.children[0]
+        args_nodes = node.children[1:]
+        if callee.kind != "Name":
+            self.fail(callee, "unsupported call target")
+        name = callee.value or ""
+        if name == "len" and len(args_nodes) == 1:
+            return Len(self.lift_expr(args_nodes[0]))
+        args = [self.lift_expr(a) for a in args_nodes]
+        return self.make_call(name, args, node)
+
+
+# ----------------------------------------------------------------------
+# JavaScript
+# ----------------------------------------------------------------------
+
+
+@lifters.register("javascript")
+class JavaScriptLifter(_LifterBase):
+    language = "javascript"
+
+    def lift(self) -> LiftResult:
+        root = self.ast.root
+        if root.kind != "Toplevel":
+            self.fail(root, "expected a toplevel")
+        shells: List[Tuple[Function, List[Node]]] = []
+        for i, child in enumerate(root.children):
+            if child.kind != "Defun":
+                self.fail(child, "only top-level function declarations lift")
+            ch = child.children
+            if not ch or ch[0].kind != "SymbolDefun":
+                self.fail(child, "function without a name")
+            name = ch[0].value or ""
+            params: List[VarSlot] = []
+            j = 1
+            while j < len(ch) and ch[j].kind == "SymbolFunarg":
+                slot = self.slot_at(ch[j], OBJECT, "param")
+                slot.kind = "param"
+                params.append(slot)
+                j += 1
+            fn = Function(split_camel(name), params, [], VOID)
+            self.register_method(i, name, fn)
+            shells.append((fn, ch[j:]))
+        for fn, stmts in shells:
+            fn.body = self.lift_block(stmts)
+            if fn.return_type == VOID and _has_valued_return(fn.body):
+                fn.return_type = OBJECT
+        return self.result(
+            FileSpec("translated", "translated", [fn for fn, _ in shells], "Translated")
+        )
+
+    def lift_block(self, nodes: List[Node]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for node in nodes:
+            self.lift_stmt(node, out)
+        return out
+
+    def lift_stmt(self, node: Node, out: List[Stmt]) -> None:
+        kind = node.kind
+        if kind == "Var":
+            for vardef in node.children:
+                if vardef.kind != "VarDef":
+                    self.fail(vardef)
+                slot = self.slot_at(vardef.children[0])
+                init = (
+                    self.lift_expr(vardef.children[1])
+                    if len(vardef.children) > 1
+                    else None
+                )
+                out.append(Decl(slot, init))
+        elif kind.startswith("Assign"):
+            out.append(self.lift_assign(node))
+        elif kind == "UnaryPostfix++":
+            target = self.lift_expr(node.children[0])
+            if not isinstance(target, Var):
+                self.fail(node, "++ on a non-variable")
+            out.append(Incr(target))
+        elif kind == "If":
+            cond = self.lift_expr(node.children[0])
+            rest = node.children[1:]
+            orelse: List[Stmt] = []
+            if rest and rest[-1].kind == "Else":
+                orelse = self.lift_block(rest[-1].children)
+                rest = rest[:-1]
+            out.append(If(cond, self.lift_block(rest), orelse))
+        elif kind == "While":
+            out.append(
+                While(self.lift_expr(node.children[0]), self.lift_block(node.children[1:]))
+            )
+        elif kind == "For":
+            out.append(self.lift_for(node))
+        elif kind == "ForIn":
+            target = node.children[0]
+            if target.kind != "SymbolVar":
+                self.fail(target, "unsupported loop target")
+            slot = self.slot_at(target)
+            iterable = self.lift_expr(node.children[1])
+            out.append(ForEach(slot, iterable, self.lift_block(node.children[2:])))
+        elif kind == "Return":
+            value = self.lift_expr(node.children[0]) if node.children else None
+            out.append(Return(value))
+        elif kind == "Break":
+            out.append(Break())
+        elif kind == "Throw":
+            out.append(self.lift_throw(node))
+        elif kind == "Call":
+            callee = node.children[0]
+            if (
+                callee.kind == "Dot"
+                and len(callee.children) == 2
+                and callee.children[1].value == "push"
+                and len(node.children) == 2
+            ):
+                out.append(
+                    Append(
+                        self.lift_expr(callee.children[0]),
+                        self.lift_expr(node.children[1]),
+                    )
+                )
+            else:
+                out.append(ExprStmt(self.lift_expr(node)))
+        else:
+            self.fail(node)
+
+    def lift_assign(self, node: Node) -> Stmt:
+        op = node.kind[len("Assign"):]
+        target_node, value_node = node.children
+        value = self.lift_expr(value_node)
+        if op == "=":
+            if target_node.kind == "SymbolRef":
+                return Assign(self.var_expr(target_node), value)
+            if target_node.kind == "Sub":
+                return MapPut(
+                    self.lift_expr(target_node.children[0]),
+                    self.lift_expr(target_node.children[1]),
+                    value,
+                )
+            self.fail(target_node, "unsupported assignment target")
+        if op in ("+=", "-=", "*="):
+            target = self.lift_expr(target_node)
+            if not isinstance(target, Var):
+                self.fail(target_node, "compound assignment to a non-variable")
+            return Aug(target, op[0], value)
+        self.fail(node, f"assignment operator {op!r}")
+        raise AssertionError
+
+    def lift_for(self, node: Node) -> Stmt:
+        ch = node.children
+        if (
+            len(ch) < 3
+            or ch[0].kind != "Var"
+            or ch[1].kind != "Binary<"
+            or ch[2].kind != "UnaryPostfix++"
+        ):
+            self.fail(node, "only 'for (var i = 0; i < stop; i++)' loops lift")
+        vardef = ch[0].children[0]
+        name_node = vardef.children[0]
+        slot = self.slot_at(name_node, INT)
+        slot.type = INT
+        binding = name_node.meta.get("binding")
+        start = vardef.children[1] if len(vardef.children) > 1 else None
+        if start is None or start.kind != "Number" or start.value != "0":
+            self.fail(node, "counting for-loops must start at 0")
+        left, stop_node = ch[1].children
+        if left.meta.get("binding") != binding:
+            self.fail(node, "loop condition does not test the loop variable")
+        if ch[2].children[0].meta.get("binding") != binding:
+            self.fail(node, "loop update does not bump the loop variable")
+        return ForRange(slot, self.lift_expr(stop_node), self.lift_block(ch[3:]))
+
+    def lift_throw(self, node: Node) -> Stmt:
+        obj = node.children[0]
+        ch = obj.children if obj.kind == "New" else []
+        if len(ch) == 2 and ch[0].kind == "SymbolRef" and ch[1].kind == "String":
+            return Throw(ch[1].value or "")
+        self.fail(node, "only 'throw new Error(\"message\")' lifts")
+        raise AssertionError
+
+    def lift_expr(self, node: Node) -> Expr:
+        kind = node.kind
+        if kind == "SymbolRef":
+            return self.var_expr(node)
+        if kind == "Number":
+            text = node.value or "0"
+            if any(c in text for c in ".eE"):
+                return Lit(float(text), DOUBLE)
+            return Lit(int(text), INT)
+        if kind == "String":
+            return Lit(node.value or "", STRING)
+        if kind == "True":
+            return Lit(True, BOOL)
+        if kind == "False":
+            return Lit(False, BOOL)
+        if kind == "Null":
+            return Lit(None, OBJECT)
+        if kind.startswith("Binary"):
+            op = kind[len("Binary"):]
+            if op not in _BIN_OPS:
+                self.fail(node, f"binary operator {op!r}")
+            return Bin(op, self.lift_expr(node.children[0]), self.lift_expr(node.children[1]))
+        if kind == "UnaryPrefix!":
+            return Not(self.lift_expr(node.children[0]))
+        if kind == "UnaryPrefix-":
+            operand = self.lift_expr(node.children[0])
+            if isinstance(operand, Lit) and operand.type in (INT, DOUBLE):
+                return Lit(-operand.value, operand.type)
+            self.fail(node, "unary minus on a non-literal")
+        if kind == "Dot":
+            obj, prop = node.children
+            if prop.value == "length":
+                return Len(self.lift_expr(obj))
+            self.fail(node, f"property access .{prop.value}")
+        if kind == "Sub":
+            return Index(self.lift_expr(node.children[0]), self.lift_expr(node.children[1]))
+        if kind == "Call":
+            return self.lift_call(node)
+        if kind == "Object":
+            if node.children:
+                self.fail(node, "only empty object literals lift")
+            return NewCollection(MAP_STR_INT)
+        if kind == "Array":
+            if node.children:
+                self.fail(node, "only empty array literals lift")
+            return NewCollection(LIST_INT)
+        self.fail(node)
+        raise AssertionError
+
+    def lift_call(self, node: Node) -> Expr:
+        callee = node.children[0]
+        args_nodes = node.children[1:]
+        if (
+            callee.kind == "Dot"
+            and len(callee.children) == 2
+            and callee.children[1].value == "hasOwnProperty"
+            and len(args_nodes) == 1
+        ):
+            return MapHas(self.lift_expr(callee.children[0]), self.lift_expr(args_nodes[0]))
+        if callee.kind == "SymbolRef":
+            args = [self.lift_expr(a) for a in args_nodes]
+            return self.make_call(callee.value or "", args, node)
+        self.fail(callee, "unsupported call target")
+        raise AssertionError
+
+
+# ----------------------------------------------------------------------
+# C#
+# ----------------------------------------------------------------------
+
+_CS_BINARY_OPS = {
+    "LogicalOrExpression": "||",
+    "LogicalAndExpression": "&&",
+    "EqualsExpression": "==",
+    "NotEqualsExpression": "!=",
+    "LessThanExpression": "<",
+    "GreaterThanExpression": ">",
+    "LessThanOrEqualExpression": "<=",
+    "GreaterThanOrEqualExpression": ">=",
+    "AddExpression": "+",
+    "SubtractExpression": "-",
+    "MultiplyExpression": "*",
+    "DivideExpression": "/",
+    "ModuloExpression": "%",
+}
+
+_CS_AUG_OPS = {
+    "AddAssignmentExpression": "+",
+    "SubtractAssignmentExpression": "-",
+    "MultiplyAssignmentExpression": "*",
+}
+
+
+def _decap(name: str) -> str:
+    return name[0].lower() + name[1:] if name else name
+
+
+@lifters.register("csharp")
+class CSharpLifter(_LifterBase):
+    language = "csharp"
+
+    _PREDEFINED = {
+        "int": INT,
+        "double": DOUBLE,
+        "bool": BOOL,
+        "string": STRING,
+        "void": VOID,
+        "object": OBJECT,
+    }
+
+    def lift(self) -> LiftResult:
+        root = self.ast.root
+        if root.kind != "CompilationUnit":
+            self.fail(root, "expected a compilation unit")
+        project = "translated"
+        class_node: Optional[Node] = None
+        for child in root.children:
+            if child.kind == "UsingDirective":
+                continue
+            if child.kind == "NamespaceDeclaration":
+                name = child.children[0].value or "" if child.children else ""
+                parts = name.split(".")
+                if len(parts) == 2 and parts[1] == "App":
+                    project = parts[0].lower()
+                for member in child.children[1:]:
+                    if member.kind != "ClassDeclaration":
+                        self.fail(member)
+                    if class_node is not None:
+                        self.fail(member, "multiple classes")
+                    class_node = member
+            elif child.kind == "ClassDeclaration":
+                if class_node is not None:
+                    self.fail(child, "multiple classes")
+                class_node = child
+            else:
+                self.fail(child)
+        if class_node is None:
+            self.fail(root, "no class declaration")
+
+        members = list(class_node.children)
+        class_name = ""
+        if members and members[0].kind == "IdentifierToken":
+            class_name = members[0].value or ""
+            members = members[1:]
+        shells: List[Tuple[Function, List[Node]]] = []
+        for i, member in enumerate(members):
+            if member.kind != "MethodDeclaration":
+                self.fail(member)
+            ch = member.children
+            return_type = self.lift_type(ch[0])
+            name = ch[1].value or ""
+            params: List[VarSlot] = []
+            body_nodes: List[Node] = []
+            for extra in ch[2:]:
+                if extra.kind == "ParameterList":
+                    for param in extra.children:
+                        ptype = self.lift_type(param.children[0])
+                        slot = self.slot_at(param.children[1], ptype, "param")
+                        slot.type = ptype
+                        params.append(slot)
+                elif extra.kind == "Block":
+                    body_nodes = extra.children
+                else:
+                    self.fail(extra)
+            fn = Function(split_camel(name), params, [], return_type)
+            self.register_method(i, name, fn)
+            shells.append((fn, body_nodes))
+        for fn, stmts in shells:
+            fn.body = self.lift_block(stmts)
+        module = "_".join(split_camel(class_name)) if class_name else "module"
+        return self.result(
+            FileSpec(project, module, [fn for fn, _ in shells], class_name)
+        )
+
+    def lift_type(self, node: Node) -> str:
+        kind, value = node.kind, node.value or ""
+        if kind == "PredefinedType":
+            if value in self._PREDEFINED:
+                return self._PREDEFINED[value]
+            self.fail(node, f"predefined type {value!r}")
+        if kind == "GenericName" and node.children:
+            base = node.children[0].value or ""
+            args = [c.value or "" for c in node.children[1:]]
+            if base == "List":
+                if args == ["int"]:
+                    return LIST_INT
+                if args == ["string"]:
+                    return LIST_STRING
+            if base == "Dictionary" and args == ["string", "int"]:
+                return MAP_STR_INT
+            self.fail(node, "unsupported generic type")
+        if kind == "IdentifierName":
+            return custom_type(value)
+        self.fail(node, "unsupported type")
+        raise AssertionError
+
+    def embedded(self, node: Node) -> List[Node]:
+        return list(node.children) if node.kind == "Block" else [node]
+
+    def lift_block(self, nodes: List[Node]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for node in nodes:
+            self.lift_stmt(node, out)
+        return out
+
+    def lift_stmt(self, node: Node, out: List[Stmt]) -> None:
+        kind = node.kind
+        if kind == "LocalDeclarationStatement":
+            declaration = node.children[0]
+            type_tag = self.lift_type(declaration.children[0])
+            for declarator in declaration.children[1:]:
+                slot = self.slot_at(declarator.children[0], type_tag)
+                slot.type = type_tag
+                init = None
+                if len(declarator.children) > 1:
+                    init = self.lift_expr(declarator.children[1].children[0])
+                out.append(Decl(slot, init))
+        elif kind == "ExpressionStatement":
+            out.append(self.lift_expr_stmt(node.children[0]))
+        elif kind == "IfStatement":
+            cond = self.lift_expr(node.children[0])
+            body = self.lift_block(self.embedded(node.children[1]))
+            orelse: List[Stmt] = []
+            if len(node.children) > 2 and node.children[2].kind == "ElseClause":
+                orelse = self.lift_block(self.embedded(node.children[2].children[0]))
+            out.append(If(cond, body, orelse))
+        elif kind == "WhileStatement":
+            out.append(
+                While(
+                    self.lift_expr(node.children[0]),
+                    self.lift_block(self.embedded(node.children[1])),
+                )
+            )
+        elif kind == "ForStatement":
+            out.append(self.lift_for(node))
+        elif kind == "ForEachStatement":
+            type_tag = self.lift_type(node.children[0])
+            slot = self.slot_at(node.children[1], type_tag)
+            slot.type = type_tag
+            iterable = self.lift_expr(node.children[2])
+            out.append(
+                ForEach(slot, iterable, self.lift_block(self.embedded(node.children[3])))
+            )
+        elif kind == "ReturnStatement":
+            value = self.lift_expr(node.children[0]) if node.children else None
+            out.append(Return(value))
+        elif kind == "BreakStatement":
+            out.append(Break())
+        elif kind == "ThrowStatement":
+            out.append(self.lift_throw(node))
+        else:
+            self.fail(node)
+
+    def lift_expr_stmt(self, node: Node) -> Stmt:
+        kind = node.kind
+        if kind == "SimpleAssignmentExpression":
+            target_node, value_node = node.children
+            value = self.lift_expr(value_node)
+            if target_node.kind == "IdentifierName":
+                return Assign(self.var_expr(target_node), value)
+            if target_node.kind == "ElementAccessExpression":
+                return MapPut(
+                    self.lift_expr(target_node.children[0]),
+                    self.lift_expr(target_node.children[1]),
+                    value,
+                )
+            self.fail(target_node, "unsupported assignment target")
+        if kind in _CS_AUG_OPS:
+            target = self.lift_expr(node.children[0])
+            if not isinstance(target, Var):
+                self.fail(node, "compound assignment to a non-variable")
+            return Aug(target, _CS_AUG_OPS[kind], self.lift_expr(node.children[1]))
+        if kind == "PostIncrementExpression":
+            target = self.lift_expr(node.children[0])
+            if not isinstance(target, Var):
+                self.fail(node, "++ on a non-variable")
+            return Incr(target)
+        if kind == "InvocationExpression":
+            lifted = self.lift_call(node, as_stmt=True)
+            return lifted if isinstance(lifted, (Append, MapPut)) else ExprStmt(lifted)
+        self.fail(node)
+        raise AssertionError
+
+    def lift_for(self, node: Node) -> Stmt:
+        ch = node.children
+        if (
+            len(ch) < 4
+            or ch[0].kind != "LocalDeclarationStatement"
+            or ch[1].kind != "LessThanExpression"
+            or ch[2].kind != "PostIncrementExpression"
+        ):
+            self.fail(node, "only 'for (int i = 0; i < stop; i++)' loops lift")
+        declarator = ch[0].children[0].children[1]
+        name_node = declarator.children[0]
+        slot = self.slot_at(name_node, INT)
+        slot.type = INT
+        binding = name_node.meta.get("binding")
+        start = (
+            declarator.children[1].children[0]
+            if len(declarator.children) > 1
+            else None
+        )
+        if start is None or start.kind != "NumericLiteralExpression" or start.value != "0":
+            self.fail(node, "counting for-loops must start at 0")
+        left, stop_node = ch[1].children
+        if left.meta.get("binding") != binding:
+            self.fail(node, "loop condition does not test the loop variable")
+        if ch[2].children[0].meta.get("binding") != binding:
+            self.fail(node, "loop update does not bump the loop variable")
+        return ForRange(
+            slot, self.lift_expr(stop_node), self.lift_block(self.embedded(ch[3]))
+        )
+
+    def lift_throw(self, node: Node) -> Stmt:
+        obj = node.children[0]
+        if obj.kind == "ObjectCreationExpression" and len(obj.children) == 2:
+            args = obj.children[1]
+            if (
+                args.kind == "ArgumentList"
+                and len(args.children) == 1
+                and args.children[0].children[0].kind == "StringLiteralExpression"
+            ):
+                return Throw(args.children[0].children[0].value or "")
+        self.fail(node, "only 'throw new Exc(\"message\")' lifts")
+        raise AssertionError
+
+    def lift_call(self, node: Node, as_stmt: bool = False) -> Expr:
+        callee, arg_list = node.children[0], node.children[1]
+        args_nodes = [a.children[0] for a in arg_list.children]
+        if callee.kind == "SimpleMemberAccessExpression":
+            obj_node, member_node = callee.children
+            member = member_node.value or ""
+            if (
+                obj_node.kind == "IdentifierName"
+                and obj_node.value == "Helpers"
+                and obj_node.meta.get("id_kind") not in RENAMEABLE_KINDS
+            ):
+                args = [self.lift_expr(a) for a in args_nodes]
+                return CallFree(_decap(member), args, OBJECT)
+            obj = self.lift_expr(obj_node)
+            if member == "ContainsKey" and len(args_nodes) == 1:
+                return MapHas(obj, self.lift_expr(args_nodes[0]))
+            if as_stmt and member == "Add" and len(args_nodes) == 1:
+                return Append(obj, self.lift_expr(args_nodes[0]))  # type: ignore[return-value]
+            self.fail(node, f"unsupported method call .{member}()")
+        if callee.kind == "IdentifierName":
+            name = callee.value or ""
+            args = [self.lift_expr(a) for a in args_nodes]
+            fn = self.local_names.get(name)
+            if fn is not None:
+                return CallLocal(fn.name_subtokens, args, fn.return_type)
+            return CallFree(_decap(name), args, OBJECT)
+        self.fail(callee, "unsupported call target")
+        raise AssertionError
+
+    def lift_expr(self, node: Node) -> Expr:
+        kind = node.kind
+        if kind == "IdentifierName":
+            return self.var_expr(node)
+        if kind == "NumericLiteralExpression":
+            text = node.value or "0"
+            if any(c in text for c in ".eE"):
+                return Lit(float(text), DOUBLE)
+            return Lit(int(text), INT)
+        if kind == "StringLiteralExpression":
+            return Lit(node.value or "", STRING)
+        if kind == "TrueLiteralExpression":
+            return Lit(True, BOOL)
+        if kind == "FalseLiteralExpression":
+            return Lit(False, BOOL)
+        if kind == "NullLiteralExpression":
+            return Lit(None, OBJECT)
+        if kind in _CS_BINARY_OPS:
+            return Bin(
+                _CS_BINARY_OPS[kind],
+                self.lift_expr(node.children[0]),
+                self.lift_expr(node.children[1]),
+            )
+        if kind == "LogicalNotExpression":
+            return Not(self.lift_expr(node.children[0]))
+        if kind == "UnaryMinusExpression":
+            operand = self.lift_expr(node.children[0])
+            if isinstance(operand, Lit) and operand.type in (INT, DOUBLE):
+                return Lit(-operand.value, operand.type)
+            self.fail(node, "unary minus on a non-literal")
+        if kind == "SimpleMemberAccessExpression":
+            obj, member = node.children
+            if member.value in ("Length", "Count"):
+                return Len(self.lift_expr(obj))
+            self.fail(node, f"member access .{member.value}")
+        if kind == "ElementAccessExpression":
+            return Index(self.lift_expr(node.children[0]), self.lift_expr(node.children[1]))
+        if kind == "InvocationExpression":
+            return self.lift_call(node)
+        if kind == "ObjectCreationExpression":
+            ch = node.children
+            if (
+                len(ch) == 2
+                and ch[0].kind == "GenericName"
+                and ch[1].kind == "ArgumentList"
+                and not ch[1].children
+            ):
+                return NewCollection(self.lift_type(ch[0]))
+            self.fail(node, "only empty collection constructors lift")
+        self.fail(node)
+        raise AssertionError
+
+
+# ----------------------------------------------------------------------
+# Usage-driven type recovery
+# ----------------------------------------------------------------------
+
+
+def _has_valued_return(body: List[Stmt]) -> bool:
+    for stmt in _walk_stmts(body):
+        if isinstance(stmt, Return) and stmt.value is not None:
+            return True
+    return False
+
+
+def _walk_stmts(body: List[Stmt]):
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from _walk_stmts(stmt.body)
+            yield from _walk_stmts(stmt.orelse)
+        elif isinstance(stmt, (While, ForRange, ForEach)):
+            yield from _walk_stmts(stmt.body)
+
+
+def _walk_exprs(stmt: Stmt):
+    roots: List[Expr] = []
+    if isinstance(stmt, Decl):
+        if stmt.init is not None:
+            roots.append(stmt.init)
+    elif isinstance(stmt, Assign):
+        roots.extend([stmt.target, stmt.value])
+    elif isinstance(stmt, Aug):
+        roots.extend([stmt.target, stmt.value])
+    elif isinstance(stmt, Incr):
+        roots.append(stmt.target)
+    elif isinstance(stmt, (If, While)):
+        roots.append(stmt.cond)
+    elif isinstance(stmt, ForRange):
+        roots.append(stmt.stop)
+    elif isinstance(stmt, ForEach):
+        roots.append(stmt.iterable)
+    elif isinstance(stmt, Return):
+        if stmt.value is not None:
+            roots.append(stmt.value)
+    elif isinstance(stmt, ExprStmt):
+        roots.append(stmt.expr)
+    elif isinstance(stmt, Append):
+        roots.extend([stmt.collection, stmt.value])
+    elif isinstance(stmt, MapPut):
+        roots.extend([stmt.map, stmt.key, stmt.value])
+    stack = list(roots)
+    while stack:
+        expr = stack.pop()
+        yield expr
+        if isinstance(expr, (Bin, StrCat)):
+            stack.extend([expr.left, expr.right])
+        elif isinstance(expr, Not):
+            stack.append(expr.operand)
+        elif isinstance(expr, (CallFree, CallLocal)):
+            stack.extend(expr.args)
+        elif isinstance(expr, Len):
+            stack.append(expr.operand)
+        elif isinstance(expr, Index):
+            stack.extend([expr.collection, expr.index])
+        elif isinstance(expr, MapGet):
+            stack.extend([expr.map, expr.key])
+        elif isinstance(expr, MapHas):
+            stack.extend([expr.map, expr.key])
+
+
+def _safe_type(expr: Expr) -> str:
+    if isinstance(expr, NewCollection):
+        # An empty literal's element type is a guess; let usage decide.
+        return OBJECT
+    try:
+        return expr_type(expr)
+    except (TypeError, ValueError, KeyError):
+        return OBJECT
+
+
+def _set(slot: VarSlot, tag: str) -> bool:
+    if slot.type == OBJECT and tag != OBJECT:
+        slot.type = tag
+        return True
+    return False
+
+
+_ELEMENT_OF = {LIST_INT: INT, LIST_STRING: STRING}
+_LIST_OF = {INT: LIST_INT, STRING: LIST_STRING}
+
+
+def infer_types(result: LiftResult, max_rounds: int = 8) -> None:
+    """Recover slot/collection/return types from usage, to a fixpoint.
+
+    Lifts from statically-typed sources (Java, C#) arrive fully typed and
+    pass through unchanged; Python/JavaScript lifts start as ``Object``
+    and converge from evidence: loop bounds and ``++`` imply ``int``, map
+    operations imply ``map<string,int>``, appends type lists, literals and
+    typed call/return positions propagate outward.  Everything here is
+    cosmetic -- it decides how idiomatic the typed renderings look, never
+    program structure -- so unresolved slots safely stay ``Object``.
+    """
+    functions = result.spec.functions
+    by_subtokens = {fn.name_subtokens: fn for fn in functions}
+    for _ in range(max_rounds):
+        changed = False
+        for fn in functions:
+            for stmt in _walk_stmts(fn.body):
+                changed |= _infer_stmt(stmt)
+                for expr in _walk_exprs(stmt):
+                    changed |= _infer_expr(expr, by_subtokens)
+            if fn.return_type == OBJECT:
+                for stmt in _walk_stmts(fn.body):
+                    if isinstance(stmt, Return) and stmt.value is not None:
+                        tag = _safe_type(stmt.value)
+                        if tag != OBJECT:
+                            fn.return_type = tag
+                            changed = True
+                            break
+        if not changed:
+            break
+    # Untyped empty-literal declarations: adopt the literal's default type.
+    for fn in functions:
+        for stmt in _walk_stmts(fn.body):
+            if (
+                isinstance(stmt, Decl)
+                and isinstance(stmt.init, NewCollection)
+                and stmt.slot.type == OBJECT
+            ):
+                stmt.slot.type = stmt.init.type
+
+
+def _infer_stmt(stmt: Stmt) -> bool:
+    changed = False
+    if isinstance(stmt, (Decl, Assign)):
+        slot = stmt.slot if isinstance(stmt, Decl) else stmt.target.slot if isinstance(stmt.target, Var) else None
+        value = stmt.init if isinstance(stmt, Decl) else stmt.value
+        if slot is not None and value is not None:
+            changed |= _set(slot, _safe_type(value))
+            if (
+                isinstance(value, NewCollection)
+                and slot.type in (LIST_INT, LIST_STRING, MAP_STR_INT)
+                and value.type != slot.type
+            ):
+                value.type = slot.type
+                changed = True
+    elif isinstance(stmt, Aug):
+        tag = _safe_type(stmt.value)
+        if tag in (INT, DOUBLE, STRING):
+            changed |= _set(stmt.target.slot, tag)
+        if stmt.target.slot.type in (INT, DOUBLE, STRING) and isinstance(stmt.value, Var):
+            changed |= _set(stmt.value.slot, stmt.target.slot.type)
+    elif isinstance(stmt, Incr):
+        changed |= _set(stmt.target.slot, INT)
+    elif isinstance(stmt, Append):
+        collection, value = stmt.collection, stmt.value
+        if isinstance(collection, Var):
+            tag = _safe_type(value)
+            if tag in _LIST_OF:
+                changed |= _set(collection.slot, _LIST_OF[tag])
+            element = _ELEMENT_OF.get(collection.slot.type)
+            if element and isinstance(value, Var):
+                changed |= _set(value.slot, element)
+    elif isinstance(stmt, MapPut):
+        if isinstance(stmt.map, Var):
+            changed |= _set(stmt.map.slot, MAP_STR_INT)
+        if isinstance(stmt.key, Var):
+            changed |= _set(stmt.key.slot, STRING)
+        if isinstance(stmt.value, Var):
+            changed |= _set(stmt.value.slot, INT)
+    elif isinstance(stmt, ForEach):
+        iterable, slot = stmt.iterable, stmt.slot
+        if isinstance(iterable, Var):
+            element = _ELEMENT_OF.get(iterable.slot.type)
+            if element:
+                changed |= _set(slot, element)
+            if slot.type in _LIST_OF:
+                changed |= _set(iterable.slot, _LIST_OF[slot.type])
+    elif isinstance(stmt, ForRange):
+        if isinstance(stmt.stop, Var):
+            changed |= _set(stmt.stop.slot, INT)
+    elif isinstance(stmt, (If, While)):
+        if isinstance(stmt.cond, Var):
+            changed |= _set(stmt.cond.slot, BOOL)
+    return changed
+
+
+def _infer_expr(expr: Expr, by_subtokens: Dict[Tuple[str, ...], Function]) -> bool:
+    changed = False
+    if isinstance(expr, MapHas):
+        if isinstance(expr.map, Var):
+            changed |= _set(expr.map.slot, MAP_STR_INT)
+        if isinstance(expr.key, Var):
+            changed |= _set(expr.key.slot, STRING)
+    elif isinstance(expr, (Index, MapGet)):
+        collection = expr.collection if isinstance(expr, Index) else expr.map
+        key = expr.index if isinstance(expr, Index) else expr.key
+        if isinstance(collection, Var):
+            if _safe_type(key) == STRING:
+                changed |= _set(collection.slot, MAP_STR_INT)
+            if collection.slot.type == MAP_STR_INT and isinstance(key, Var):
+                changed |= _set(key.slot, STRING)
+            element = _ELEMENT_OF.get(collection.slot.type)
+            if collection.slot.type in _ELEMENT_OF and isinstance(key, Var):
+                changed |= _set(key.slot, INT)
+    elif isinstance(expr, StrCat):
+        for side in (expr.left, expr.right):
+            if isinstance(side, Var):
+                changed |= _set(side.slot, STRING)
+    elif isinstance(expr, Bin):
+        left_tag, right_tag = _safe_type(expr.left), _safe_type(expr.right)
+        if expr.op in ("<", ">", "<=", ">=", "-", "*", "/", "%"):
+            if left_tag in (INT, DOUBLE) and isinstance(expr.right, Var):
+                changed |= _set(expr.right.slot, left_tag)
+            if right_tag in (INT, DOUBLE) and isinstance(expr.left, Var):
+                changed |= _set(expr.left.slot, right_tag)
+        elif expr.op in ("==", "!=", "+"):
+            for tag, other in ((left_tag, expr.right), (right_tag, expr.left)):
+                if tag in (INT, DOUBLE, STRING) and isinstance(other, Var):
+                    changed |= _set(other.slot, tag)
+    elif isinstance(expr, Not):
+        if isinstance(expr.operand, Var):
+            changed |= _set(expr.operand.slot, BOOL)
+    elif isinstance(expr, CallLocal):
+        fn = by_subtokens.get(tuple(expr.name_subtokens))
+        if fn is not None:
+            if expr.return_type != fn.return_type:
+                expr.return_type = fn.return_type
+                changed = True
+            for param, arg in zip(fn.params, expr.args):
+                tag = _safe_type(arg)
+                if tag != OBJECT:
+                    changed |= _set(param, tag)
+                if param.type != OBJECT and isinstance(arg, Var):
+                    changed |= _set(arg.slot, param.type)
+    return changed

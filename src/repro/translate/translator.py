@@ -1,0 +1,255 @@
+"""The translation pipeline: lift -> CRF predict -> rename -> render.
+
+:class:`Translator` turns one source file in any supported language into
+idiomatic source in another: the lifter recovers the corpus IR and a
+symbol table keyed exactly like the CRF's unknowns, a trained
+``translate`` model (or any pipeline whose keys intersect) predicts
+names for every renameable binding and method, the symbol table is
+mutated in place, and the target renderer prints the result in the
+target language's own idiom (camelCase vs snake_case, ``for..of`` vs
+``range``, ``.push`` vs ``.add``...), not a token-by-token
+transliteration.
+
+The output payload is deterministic (sorted key order, no timestamps):
+the serving layer returns it verbatim, which is what makes served
+translate responses bit-identical to direct :meth:`Translator.translate`
+calls.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..corpus import render_csharp, render_java, render_js, render_python
+from ..corpus.ir import (
+    Decl,
+    FileSpec,
+    ForEach,
+    ForRange,
+    Function,
+    CallLocal,
+    Var,
+    VarSlot,
+)
+from ..lang.base import languages, parse_source
+from ..resilience import faults
+from ..resilience.faults import FaultInjected, TIMEOUT_SLEEP_S
+from .lift import LiftResult, _walk_exprs, _walk_stmts, lift, split_camel, split_snake
+
+#: Languages a translation can target: everything with a renderer.
+RENDERERS = {
+    "java": render_java.render_file,
+    "python": render_python.render_file,
+    "javascript": render_js.render_file,
+    "csharp": render_csharp.render_file,
+}
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: Names never assigned to identifiers in any target: the union of the
+#: four languages' keywords plus the callables the renderers emit.
+_RESERVED = frozenset(
+    """
+    abstract and as assert async await base bool boolean break case catch
+    char checked class const continue def default del delegate do double
+    elif else enum event except explicit extends extern final finally
+    float for foreach from function global goto if implements implicit
+    import in instanceof int interface internal is lambda let lock long
+    namespace native new nonlocal not null object of operator or out
+    override pass params private protected public raise readonly ref
+    return sbyte sealed short sizeof static strictfp string struct super
+    switch synchronized this throw throws transient true try typeof uint
+    ulong unchecked unsafe ushort using var virtual void volatile while
+    with yield None True False
+    len range print Error Helpers hasOwnProperty
+    """.split()
+)
+
+
+class Translator:
+    """Translate source between languages through the corpus IR.
+
+    ``model`` is optional: a :class:`~repro.api.pipeline.Pipeline` or a
+    serving :class:`~repro.api.pipeline.ScoringHandle` trained on the
+    source language (usually on the ``translate`` task, so variable *and*
+    method unknowns are covered).  Without a model the translation is
+    purely structural -- original names carry over.
+    """
+
+    def __init__(self, model=None) -> None:
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def translate(
+        self,
+        source: str,
+        target_language: str,
+        language: Optional[str] = None,
+        program=None,
+    ) -> Dict[str, object]:
+        """Translate ``source`` into ``target_language``; returns the payload.
+
+        Raises :class:`~repro.translate.lift.UnsupportedConstructError`
+        (a structured 4xx for the serving layer) when the source uses
+        constructs outside the IR vocabulary, and :class:`ValueError` for
+        bad language arguments.
+        """
+        status = faults.fire("translate")
+        if status == "timeout":
+            time.sleep(TIMEOUT_SLEEP_S)
+        elif status == "unavail":
+            raise FaultInjected("translate: unavailable (fault injected)")
+
+        if target_language not in RENDERERS:
+            known = ", ".join(sorted(RENDERERS))
+            raise ValueError(
+                f"unknown target language {target_language!r} (known: {known})"
+            )
+        model_language = getattr(getattr(self.model, "spec", None), "language", None)
+        source_language = language or model_language
+        if source_language is None:
+            raise ValueError("source language required when translating without a model")
+        if model_language is not None and source_language != model_language:
+            raise ValueError(
+                f"model is trained on {model_language!r} but the source is "
+                f"{source_language!r}"
+            )
+        if source_language not in languages:
+            known = ", ".join(sorted(languages.names()))
+            raise ValueError(
+                f"unknown source language {source_language!r} (known: {known})"
+            )
+
+        ast = program.ast if program is not None else parse_source(source_language, source)
+        lifted = lift(ast)
+        predictions: Dict[str, str] = {}
+        if self.model is not None:
+            if program is not None and hasattr(self.model, "fingerprinted"):
+                predictions = dict(self.model.predict(source, program=program))
+            else:
+                predictions = dict(self.model.predict(source))
+        applied, total, named = _apply_predictions(lifted, predictions, target_language)
+        translated = RENDERERS[target_language](lifted.spec)
+        return {
+            "source_language": source_language,
+            "target_language": target_language,
+            "translated_source": translated,
+            "predictions": {key: applied[key] for key in sorted(applied)},
+            "identifiers": {"total": total, "named": named},
+        }
+
+
+# ----------------------------------------------------------------------
+# Prediction application (symbol-table mutation)
+# ----------------------------------------------------------------------
+
+
+def _split_prediction(name: str) -> Tuple[str, ...]:
+    return split_snake(name) if "_" in name else split_camel(name)
+
+
+def _spellings(fn: Function) -> Tuple[str, str, str]:
+    return (fn.camel_name(), fn.pascal_name(), fn.snake_name())
+
+
+def _free_call_names(spec: FileSpec) -> set:
+    names = set()
+    for fn in spec.functions:
+        for stmt in _walk_stmts(fn.body):
+            for expr in _walk_exprs(stmt):
+                if expr.__class__.__name__ == "CallFree":
+                    names.add(expr.name)
+    return names
+
+
+def _function_slots(fn: Function) -> List[VarSlot]:
+    """Distinct slots of one function by identity, params first."""
+    seen: Dict[int, VarSlot] = {}
+    for param in fn.params:
+        seen.setdefault(id(param), param)
+    for stmt in _walk_stmts(fn.body):
+        if isinstance(stmt, Decl):
+            seen.setdefault(id(stmt.slot), stmt.slot)
+        elif isinstance(stmt, (ForRange, ForEach)):
+            seen.setdefault(id(stmt.slot), stmt.slot)
+        for expr in _walk_exprs(stmt):
+            if isinstance(expr, Var):
+                seen.setdefault(id(expr.slot), expr.slot)
+    return list(seen.values())
+
+
+def _apply_predictions(
+    lifted: LiftResult, predictions: Dict[str, str], target_language: str
+) -> Tuple[Dict[str, str], int, int]:
+    """Rename the lifted symbol table in place.
+
+    Returns ``(final name per identifier key, translatable count,
+    CRF-named count)``.  Predicted names that are invalid identifiers or
+    would collide (with reserved words, free-call names, other methods,
+    or sibling variables) fall back to the original name, so renaming can
+    never break the round-trip.
+    """
+    applied: Dict[str, str] = {}
+    named = 0
+
+    free_names = _free_call_names(lifted.spec)
+    taken = set(_RESERVED) | free_names
+
+    # Methods first: their final names constrain variable renames.
+    remap: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+    for key, fn in lifted.methods.items():
+        original = tuple(fn.name_subtokens)
+        prediction = predictions.get(key, "")
+        final = original
+        from_crf = False
+        if prediction and _IDENTIFIER_RE.match(prediction):
+            candidate = _split_prediction(prediction)
+            trial = Function(candidate, [], [])
+            if not any(s in taken for s in _spellings(trial)):
+                final = candidate
+                from_crf = True
+        fn.name_subtokens = final
+        taken.update(_spellings(fn))
+        remap.setdefault(original, final)
+        applied[key] = fn.camel_name() if target_language != "python" else fn.snake_name()
+        named += 1 if from_crf else 0
+
+    # Re-point every local call at its method's final name.
+    for fn in lifted.spec.functions:
+        for stmt in _walk_stmts(fn.body):
+            for expr in _walk_exprs(stmt):
+                if isinstance(expr, CallLocal):
+                    new = remap.get(tuple(expr.name_subtokens))
+                    if new is not None:
+                        expr.name_subtokens = new
+
+    # Variables, per function (slot names only need in-function uniqueness).
+    binding_of = {id(slot): binding for binding, slot in lifted.slots.items()}
+    total = sum(1 for slot in lifted.slots.values() if slot.kind in ("local", "param"))
+    total += len(lifted.methods)
+    for fn in lifted.spec.functions:
+        used = set(taken)
+        slots = _function_slots(fn)
+        used.update(slot.name for slot in slots)
+        for slot in slots:
+            binding = binding_of.get(id(slot))
+            if binding is None or slot.kind not in ("local", "param"):
+                continue
+            prediction = predictions.get(binding, "")
+            original = slot.name
+            if (
+                prediction
+                and prediction != original
+                and _IDENTIFIER_RE.match(prediction)
+                and prediction not in used
+            ):
+                used.discard(original)
+                slot.name = prediction
+                used.add(prediction)
+                named += 1
+            elif prediction and prediction == original:
+                named += 1
+            applied[binding] = slot.name
+    return applied, total, named

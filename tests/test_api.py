@@ -258,7 +258,12 @@ class TestCellEnumeration:
         assert all(s.language == "python" and s.learner == "word2vec" for s in specs)
 
     def test_registries_expose_builtins(self):
-        assert set(tasks.names()) == {"variable_naming", "method_naming", "type_prediction"}
+        assert set(tasks.names()) == {
+            "variable_naming",
+            "method_naming",
+            "type_prediction",
+            "translate",
+        }
         assert {"ast-paths", "no-paths", "token-context"} <= set(representations.names())
         assert {"crf", "word2vec"} <= set(learners.names())
 
